@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the hot paths behind every figure.
+//!
+//! Groups map to the paper's evaluation artifacts:
+//!
+//! * `registerptr` — the per-store cost Figure 9 is made of, per detector;
+//! * `ptr2obj` — the metapagetable lookup (§4.3) vs a tree lookup;
+//! * `malloc_free` — allocator hook costs (Figures 9/11 denominators);
+//! * `invalidate` — `invalptrs` cost as a function of tracked pointers;
+//! * `log_append` — the three log tiers (embedded / indirect / hash).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dangsan::{Config, DangSan, HookedHeap};
+use dangsan_heap::Heap;
+use dangsan_vmem::AddressSpace;
+use dangsan_workloads::env::{local_env, DetectorKind};
+
+fn registerptr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registerptr");
+    for kind in [
+        DetectorKind::Baseline,
+        DetectorKind::DangSan(Config::default()),
+        DetectorKind::FreeSentry,
+        DetectorKind::DangNull,
+    ] {
+        let hh = local_env(kind);
+        let mut objs = Vec::new();
+        for _ in 0..512 {
+            objs.push(hh.malloc(256).unwrap());
+        }
+        let slab = hh.malloc(4096 * 8).unwrap();
+        let mut i = 0u64;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let loc = slab.base + (i % 4096) * 8;
+                let t = &objs[(i % 512) as usize];
+                hh.store_ptr(loc, t.base + (i % 32) * 8).unwrap();
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ptr2obj(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptr2obj");
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), Config::default());
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    let mut objs = Vec::new();
+    for _ in 0..4096 {
+        objs.push(hh.malloc(96).unwrap());
+    }
+    let mut i = 0usize;
+    g.bench_function("metapagetable_lookup", |b| {
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            i += 1;
+            det.mapper().lookup(o.base + 40)
+        })
+    });
+    g.finish();
+}
+
+fn malloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("malloc_free");
+    for kind in [
+        DetectorKind::Baseline,
+        DetectorKind::DangSan(Config::default()),
+        DetectorKind::DangNull,
+    ] {
+        let hh = local_env(kind);
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let a = hh.malloc(64).unwrap();
+                hh.free(a.base).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn invalidate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("invalidate");
+    g.sample_size(30);
+    for n in [1u64, 16, 256, 4096] {
+        let hh = local_env(DetectorKind::DangSan(Config::default()));
+        let slab = hh.malloc(n * 8).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let obj = hh.malloc(128).unwrap();
+                for i in 0..n {
+                    hh.store_ptr(slab.base + i * 8, obj.base).unwrap();
+                }
+                let r = hh.free(obj.base).unwrap();
+                assert_eq!(r.invalidated, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn log_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_append_tiers");
+    // Distinct locations force the log through its tiers; the bench
+    // reports the average append cost at each scale.
+    for n in [8u64, 64, 1024] {
+        let label = match n {
+            8 => "embedded",
+            64 => "indirect",
+            _ => "hashtable",
+        };
+        let hh = local_env(DetectorKind::DangSan(Config::default()));
+        let slab = hh.malloc(n * 8).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let obj = hh.malloc(64).unwrap();
+                for i in 0..n {
+                    hh.store_ptr(slab.base + i * 8, obj.base).unwrap();
+                }
+                hh.free(obj.base).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = registerptr, ptr2obj, malloc_free, invalidate, log_append
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! See `dangsan_bench::experiments::fig11`.
+
+fn main() {
+    print!("{}", dangsan_bench::experiments::fig11());
+}

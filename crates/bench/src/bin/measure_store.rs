@@ -1,0 +1,29 @@
+use dangsan::Config;
+use dangsan_workloads::env::{local_env, DetectorKind};
+use std::time::Instant;
+
+fn main() {
+    for kind in [
+        DetectorKind::Baseline,
+        DetectorKind::DangSan(Config::default()),
+        DetectorKind::FreeSentry,
+        DetectorKind::DangNull,
+    ] {
+        let hh = local_env(kind);
+        // make a few hundred live objects so trees have some depth
+        let mut objs = vec![];
+        for _ in 0..512 {
+            objs.push(hh.malloc(256).unwrap());
+        }
+        let slab = hh.malloc(4096 * 8).unwrap();
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let loc = slab.base + (i % 4096) * 8;
+            let t = &objs[(i % 512) as usize];
+            hh.store_ptr(loc, t.base + (i % 32) * 8).unwrap();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{:<12} {:.1} ns/store", kind.label(), ns);
+    }
+}

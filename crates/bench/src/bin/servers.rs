@@ -1,0 +1,5 @@
+//! See `dangsan_bench::experiments::servers`.
+
+fn main() {
+    print!("{}", dangsan_bench::experiments::servers());
+}

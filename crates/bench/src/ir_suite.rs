@@ -1,0 +1,229 @@
+//! A small suite of IR programs exercising the instrumentation pass,
+//! shared by the ablation harness and tests.
+
+use dangsan_instr::builder::FunctionBuilder;
+use dangsan_instr::instrument;
+use dangsan_instr::ir::{BinOp, FuncId, Operand, Program, Ty};
+use dangsan_instr::PassOptions;
+
+/// A linked-list builder: allocates nodes in a loop and links them —
+/// loop-carried pointers, no hoisting possible for the link stores.
+pub fn linked_list(n: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    let head = fb.malloc(Operand::Imm(16));
+    let cur = fb.fresh(Ty::Ptr);
+    // cur = head
+    let zero_off = fb.gep(head, Operand::Imm(0));
+    fb.bin_into(cur, BinOp::Or, Operand::Reg(zero_off), Operand::Imm(0));
+    let i = fb.iconst(0);
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(n));
+    fb.branch(Operand::Reg(c), body, exit);
+    fb.switch_to(body);
+    let node = fb.malloc(Operand::Imm(16));
+    fb.store_ptr(cur, 0, node); // cur->next = node  (loop-variant)
+    fb.bin_into(cur, BinOp::Or, Operand::Reg(node), Operand::Imm(0));
+    fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+/// A loop that keeps re-storing the same global-ish pointer: the classic
+/// hoisting win.
+pub fn invariant_store_loop(n: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    let slot = fb.malloc(Operand::Imm(8));
+    let target = fb.malloc(Operand::Imm(64));
+    let i = fb.iconst(0);
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(n));
+    fb.branch(Operand::Reg(c), body, exit);
+    fb.switch_to(body);
+    fb.store_ptr(slot, 0, target);
+    fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.free(target);
+    fb.free(slot);
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+/// An iterator sweep: p = buf; while (...) { *cursor = p; p = p + 8 } with
+/// the pointer kept in memory — elision fodder.
+pub fn pointer_sweep(n: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    let buf = fb.malloc(Operand::Imm(n * 8 + 8));
+    let cursor = fb.malloc(Operand::Imm(8));
+    fb.store_ptr(cursor, 0, buf);
+    let i = fb.iconst(0);
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(n));
+    fb.branch(Operand::Reg(c), body, exit);
+    fb.switch_to(body);
+    let p = fb.load_ptr(cursor, 0);
+    let p2 = fb.gep(p, Operand::Imm(8));
+    fb.store_ptr(cursor, 0, p2); // elidable write-back
+    fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.free(buf);
+    fb.free(cursor);
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+/// A call-graph case: the loop calls a helper that frees, blocking
+/// hoisting; a sibling loop calls a pure helper and hoists fine.
+pub fn interprocedural() -> Program {
+    // f0: pure helper
+    let mut pure = FunctionBuilder::new("pure", 1);
+    let _ = pure.param_ty(0, Ty::I64);
+    pure.ret(Some(Operand::Imm(1)));
+    // f1: freeing helper
+    let mut freeing = FunctionBuilder::new("freeing", 1);
+    let fp = freeing.param_ty(0, Ty::Ptr);
+    freeing.free(fp);
+    freeing.ret(None);
+
+    let mut fb = FunctionBuilder::new("main", 0);
+    let slot = fb.malloc(Operand::Imm(8));
+    let target = fb.malloc(Operand::Imm(32));
+    // Loop A: store + call pure → hoistable.
+    let i = fb.iconst(0);
+    let ha = fb.new_block();
+    let ba = fb.new_block();
+    let mid = fb.new_block();
+    fb.jump(ha);
+    fb.switch_to(ha);
+    let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(8));
+    fb.branch(Operand::Reg(c), ba, mid);
+    fb.switch_to(ba);
+    fb.store_ptr(slot, 0, target);
+    let _r = fb.call(FuncId(0), vec![Operand::Imm(1)]);
+    fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.jump(ha);
+    // Loop B: store + call freeing → not hoistable.
+    fb.switch_to(mid);
+    let j = fb.iconst(0);
+    let hb = fb.new_block();
+    let bb = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(hb);
+    fb.switch_to(hb);
+    let c2 = fb.bin(BinOp::Lt, Operand::Reg(j), Operand::Imm(8));
+    fb.branch(Operand::Reg(c2), bb, exit);
+    fb.switch_to(bb);
+    fb.store_ptr(slot, 0, target);
+    let tmp = fb.malloc(Operand::Imm(8));
+    fb.call_void(FuncId(1), vec![Operand::Reg(tmp)]);
+    fb.bin_into(j, BinOp::Add, Operand::Reg(j), Operand::Imm(1));
+    fb.jump(hb);
+    fb.switch_to(exit);
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![pure.finish(), freeing.finish(), fb.finish()],
+    }
+}
+
+/// All suite programs.
+pub fn suite() -> Vec<(&'static str, Program)> {
+    vec![
+        ("linked_list", linked_list(64)),
+        ("invariant_store_loop", invariant_store_loop(64)),
+        ("pointer_sweep", pointer_sweep(64)),
+        ("interprocedural", interprocedural()),
+    ]
+}
+
+/// Total registrations *executed* across the suite for (naive, optimized),
+/// measured by running each instrumented program against DangSan.
+pub fn dynamic_registration_counts() -> (u64, u64) {
+    use dangsan::Detector;
+    let run = |opts: PassOptions| -> u64 {
+        let mut total = 0;
+        for (_, prog) in suite() {
+            let (instrumented, _) = instrument(&prog, opts);
+            let mem = std::sync::Arc::new(dangsan_vmem::AddressSpace::new());
+            let heap = dangsan_heap::Heap::new(std::sync::Arc::clone(&mem));
+            let det =
+                dangsan::DangSan::new(std::sync::Arc::clone(&mem), dangsan::Config::default());
+            let hh = dangsan::HookedHeap::new(heap, std::sync::Arc::clone(&det));
+            let mut m = dangsan_instr::Machine::new(hh, 0);
+            let main = instrumented.func_by_name("main").unwrap();
+            m.run(&instrumented, main, &[]).expect("suite program runs");
+            let s = det.stats();
+            total += s.ptrs_registered + s.dup_ptrs;
+        }
+        total
+    };
+    (run(PassOptions::naive()), run(PassOptions::optimized()))
+}
+
+/// Total `registerptr` sites across the suite for (naive, optimized).
+pub fn instrumentation_counts() -> (usize, usize) {
+    let mut naive = 0;
+    let mut optimized = 0;
+    for (_, prog) in suite() {
+        let (n, _) = instrument(&prog, PassOptions::naive());
+        let (o, _) = instrument(&prog, PassOptions::optimized());
+        naive += n.register_ptr_count();
+        optimized += o.register_ptr_count();
+    }
+    (naive, optimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangsan::{Config, DangSan, HookedHeap};
+    use dangsan_heap::Heap;
+    use dangsan_instr::Machine;
+    use dangsan_vmem::AddressSpace;
+    use std::sync::Arc;
+
+    #[test]
+    fn suite_programs_validate_and_run() {
+        for (name, prog) in suite() {
+            prog.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (instrumented, _) = instrument(&prog, PassOptions::optimized());
+            let mem = Arc::new(AddressSpace::new());
+            let heap = Heap::new(Arc::clone(&mem));
+            let det = DangSan::new(Arc::clone(&mem), Config::default());
+            let hh = HookedHeap::new(heap, det);
+            let mut m = Machine::new(hh, 0);
+            let main = instrumented.func_by_name("main").unwrap();
+            let r = m.run(&instrumented, main, &[]);
+            assert!(r.is_ok(), "{name}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn optimizations_reduce_sites() {
+        let (naive, optimized) = instrumentation_counts();
+        assert!(
+            optimized < naive,
+            "optimized {optimized} should be below naive {naive}"
+        );
+    }
+}

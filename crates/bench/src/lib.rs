@@ -1,0 +1,22 @@
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation (§8), plus design ablations.
+//!
+//! One binary per artifact (`cargo run -p dangsan-bench --release --bin <x>`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig9` | Figure 9 — SPEC CPU2006 runtime overhead |
+//! | `fig10` | Figure 10 — PARSEC/SPLASH-2X scalability |
+//! | `fig11` | Figure 11 — SPEC CPU2006 memory overhead |
+//! | `fig12` | Figure 12 — PARSEC/SPLASH-2X memory usage |
+//! | `table1` | Table 1 — tracking statistics |
+//! | `servers` | §8.2/§8.3 — web-server throughput and memory |
+//! | `effectiveness` | §8.1 — exploit scenarios |
+//! | `ablations` | §4.4/§6 design-choice sweeps |
+//! | `reproduce_all` | everything above, in order |
+//!
+//! Criterion micro-benchmarks live under `benches/` (`cargo bench`).
+
+pub mod experiments;
+pub mod ir_suite;
+pub mod report;

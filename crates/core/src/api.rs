@@ -1,0 +1,149 @@
+//! The detector interface shared by DangSan, the baselines, and the
+//! workload runners.
+//!
+//! In the paper these hooks are calls the LLVM pass and the tcmalloc
+//! extension insert into the program: `registerptr` after every
+//! pointer-typed store, and allocator interpositions around
+//! malloc/free/realloc. Here they form a trait so the same workloads can
+//! drive DangSan, DangNULL-style and FreeSentry-style detectors, or no
+//! detector at all (the baseline run).
+//!
+//! The trait deliberately has **no `Send + Sync` supertrait**: FreeSentry
+//! famously cannot support multithreaded programs, and we encode that in
+//! the type system — multithreaded runners require `D: Detector + Send +
+//! Sync`, which a `RefCell`-based detector does not satisfy.
+
+use dangsan_heap::Allocation;
+use dangsan_vmem::Addr;
+
+use crate::stats::StatsSnapshot;
+
+/// What happened during one `invalptrs` run (a `free`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Locations rewritten to a non-canonical address.
+    pub invalidated: u64,
+    /// Logged locations whose value no longer pointed into the object.
+    pub stale: u64,
+    /// Logged locations whose memory was unmapped (SIGSEGV-skip path).
+    pub skipped_unmapped: u64,
+}
+
+impl InvalidationReport {
+    /// Sums two reports (used when a free touches several structures).
+    pub fn merge(self, other: InvalidationReport) -> InvalidationReport {
+        InvalidationReport {
+            invalidated: self.invalidated + other.invalidated,
+            stale: self.stale + other.stale,
+            skipped_unmapped: self.skipped_unmapped + other.skipped_unmapped,
+        }
+    }
+}
+
+/// A use-after-free detector driven by allocator hooks and instrumented
+/// pointer stores.
+pub trait Detector {
+    /// Short human-readable name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Called after the allocator creates an object (`createobj`).
+    fn on_alloc(&self, alloc: &Allocation);
+
+    /// Called when `base` is about to be freed, *before* the allocator
+    /// reclaims the memory: invalidates all tracked pointers into the
+    /// object (`invalptrs`).
+    fn on_free(&self, base: Addr) -> InvalidationReport;
+
+    /// Called when `realloc` resized an object in place.
+    fn on_realloc_in_place(&self, base: Addr, new_size: u64);
+
+    /// Called after a pointer-typed store of `value` to `loc`
+    /// (`registerptr`). `value` may be anything — non-pointers are cheap
+    /// to filter via the pointer-to-object mapper.
+    fn register_ptr(&self, loc: Addr, value: u64);
+
+    /// Called after a `memcpy`-style move of `len` bytes to `dst`.
+    ///
+    /// Default: no-op — the paper's behaviour (§7: pointers copied in a
+    /// type-unsafe way are lost). Detectors may scan the destination and
+    /// re-register pointer-looking words (the extension the paper
+    /// sketches but chose not to implement).
+    fn on_memcpy(&self, dst: Addr, len: u64) {
+        let _ = (dst, len);
+    }
+
+    /// Current statistics (Table 1 counters).
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Host bytes of detector metadata (logs, tables, shadow memory) for
+    /// the Figure 11/12 memory-overhead accounting.
+    fn metadata_bytes(&self) -> u64;
+}
+
+/// The no-op detector: the uninstrumented baseline configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullDetector;
+
+impl Detector for NullDetector {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    #[inline]
+    fn on_alloc(&self, _alloc: &Allocation) {}
+
+    #[inline]
+    fn on_free(&self, _base: Addr) -> InvalidationReport {
+        InvalidationReport::default()
+    }
+
+    #[inline]
+    fn on_realloc_in_place(&self, _base: Addr, _new_size: u64) {}
+
+    #[inline]
+    fn register_ptr(&self, _loc: Addr, _value: u64) {}
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_detector_is_inert() {
+        let d = NullDetector;
+        d.register_ptr(0x1000, 0x2000);
+        assert_eq!(d.on_free(0x1000), InvalidationReport::default());
+        assert_eq!(d.stats(), StatsSnapshot::default());
+        assert_eq!(d.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn reports_merge() {
+        let a = InvalidationReport {
+            invalidated: 1,
+            stale: 2,
+            skipped_unmapped: 3,
+        };
+        let b = InvalidationReport {
+            invalidated: 10,
+            stale: 20,
+            skipped_unmapped: 30,
+        };
+        assert_eq!(
+            a.merge(b),
+            InvalidationReport {
+                invalidated: 11,
+                stale: 22,
+                skipped_unmapped: 33
+            }
+        );
+    }
+}

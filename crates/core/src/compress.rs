@@ -1,0 +1,209 @@
+//! Pointer compression for log entries (paper §6, Figure 8).
+//!
+//! On x86-64 the two most significant bytes of a user-space pointer are
+//! zero. When up to three logged *locations* differ only in their least
+//! significant byte, DangSan shifts their 40-bit common part two bytes to
+//! the left and packs the three low bytes beside it, tripling log density
+//! for spatially local pointer stores (arrays of pointers, adjacent struct
+//! fields).
+//!
+//! Entry encoding (one 8-byte log slot):
+//!
+//! ```text
+//! plain:       0 .. 0 | 47-bit location                      (bit 63 = 0)
+//! compressed:  1 | common = loc >> 8 (39 bits) | b0 | b1 | b2 (bit 63 = 1)
+//! ```
+//!
+//! Unused low-byte slots replicate `b0`; because a replicated byte denotes
+//! "same location again", decoding naturally deduplicates and re-adding an
+//! existing byte is reported as a duplicate.
+
+use dangsan_vmem::Addr;
+
+/// Tag bit marking a compressed entry.
+pub const COMPRESSED_TAG: u64 = 1 << 63;
+
+const COMMON_SHIFT: u32 = 24;
+
+/// Returns the compressed form holding just `loc`.
+pub fn compress_one(loc: Addr) -> u64 {
+    debug_assert!(loc < (1 << 47));
+    let b0 = loc & 0xff;
+    COMPRESSED_TAG | ((loc >> 8) << COMMON_SHIFT) | (b0 << 16) | (b0 << 8) | b0
+}
+
+/// Whether `entry` is a compressed (Figure 8) entry.
+#[inline]
+pub fn is_compressed(entry: u64) -> bool {
+    entry & COMPRESSED_TAG != 0
+}
+
+/// Result of trying to fold a location into an existing entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fold {
+    /// The entry already records this exact location.
+    Duplicate,
+    /// The entry was extended; store this new value in the same slot.
+    Merged(u64),
+    /// The location does not fit; append a fresh entry.
+    Full,
+}
+
+/// Attempts to record `loc` inside `entry` (plain or compressed).
+pub fn fold(entry: u64, loc: Addr) -> Fold {
+    debug_assert!(loc < (1 << 47));
+    if !is_compressed(entry) {
+        if entry == loc {
+            return Fold::Duplicate;
+        }
+        if entry >> 8 == loc >> 8 {
+            // Promote the plain entry to compressed and add the new byte.
+            let promoted = compress_one(entry);
+            return match fold(promoted, loc) {
+                Fold::Merged(v) => Fold::Merged(v),
+                // A fresh two-slot entry can always absorb a second byte.
+                _ => unreachable!("promoted entry has free slots"),
+            };
+        }
+        return Fold::Full;
+    }
+    let common = entry >> COMMON_SHIFT & ((1 << 39) - 1);
+    if common != loc >> 8 {
+        return Fold::Full;
+    }
+    let b = loc & 0xff;
+    let b0 = (entry >> 16) & 0xff;
+    let b1 = (entry >> 8) & 0xff;
+    let b2 = entry & 0xff;
+    if b == b0 || (b == b1 && b1 != b0) || (b == b2 && b2 != b0) {
+        return Fold::Duplicate;
+    }
+    // Slots replicating b0 are unused (except slot 0 itself).
+    if b1 == b0 {
+        return Fold::Merged((entry & !(0xff << 8)) | (b << 8));
+    }
+    if b2 == b0 {
+        return Fold::Merged((entry & !0xff) | b);
+    }
+    Fold::Full
+}
+
+/// Decodes an entry into its distinct locations (1–3 of them).
+pub fn locations(entry: u64) -> LocationIter {
+    LocationIter { entry, idx: 0 }
+}
+
+/// Iterator over the locations stored in one log entry.
+pub struct LocationIter {
+    entry: u64,
+    idx: u8,
+}
+
+impl Iterator for LocationIter {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        if !is_compressed(self.entry) {
+            if self.idx == 0 {
+                self.idx = 3;
+                return (self.entry != 0).then_some(self.entry);
+            }
+            return None;
+        }
+        let common = (self.entry >> COMMON_SHIFT) & ((1 << 39) - 1);
+        let bytes = [
+            (self.entry >> 16) & 0xff,
+            (self.entry >> 8) & 0xff,
+            self.entry & 0xff,
+        ];
+        while (self.idx as usize) < 3 {
+            let i = self.idx as usize;
+            self.idx += 1;
+            // Replicated b0 in later slots means "unused".
+            if i > 0 && bytes[i] == bytes[0] {
+                continue;
+            }
+            return Some((common << 8) | bytes[i]);
+        }
+        None
+    }
+}
+
+/// Whether `entry` records `loc`.
+pub fn contains(entry: u64, loc: Addr) -> bool {
+    locations(entry).any(|l| l == loc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangsan_vmem::HEAP_BASE;
+
+    #[test]
+    fn plain_entry_roundtrip() {
+        let loc = HEAP_BASE + 0x120;
+        assert!(!is_compressed(loc));
+        assert_eq!(locations(loc).collect::<Vec<_>>(), vec![loc]);
+    }
+
+    #[test]
+    fn compress_one_holds_single_location() {
+        let loc = HEAP_BASE + 0xAB;
+        let e = compress_one(loc);
+        assert!(is_compressed(e));
+        assert_eq!(locations(e).collect::<Vec<_>>(), vec![loc]);
+    }
+
+    #[test]
+    fn three_neighbours_share_an_entry() {
+        let a = HEAP_BASE + 0x100;
+        let b = HEAP_BASE + 0x108;
+        let c = HEAP_BASE + 0x1F8;
+        let e = match fold(a, b) {
+            Fold::Merged(e) => e,
+            other => panic!("{other:?}"),
+        };
+        let e = match fold(e, c) {
+            Fold::Merged(e) => e,
+            other => panic!("{other:?}"),
+        };
+        let mut locs = locations(e).collect::<Vec<_>>();
+        locs.sort_unstable();
+        assert_eq!(locs, vec![a, b, c]);
+        // A fourth distinct neighbour no longer fits.
+        assert_eq!(fold(e, HEAP_BASE + 0x110), Fold::Full);
+    }
+
+    #[test]
+    fn duplicates_are_detected_at_every_arity() {
+        let a = HEAP_BASE + 0x40;
+        assert_eq!(fold(a, a), Fold::Duplicate);
+        let e = match fold(a, a + 8) {
+            Fold::Merged(e) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(fold(e, a), Fold::Duplicate);
+        assert_eq!(fold(e, a + 8), Fold::Duplicate);
+    }
+
+    #[test]
+    fn different_pages_do_not_merge() {
+        let a = HEAP_BASE + 0x40;
+        let b = HEAP_BASE + 0x140; // differs above the low byte
+        assert_eq!(fold(a, b), Fold::Full);
+    }
+
+    #[test]
+    fn low_byte_zero_is_representable() {
+        // b == 0 must work even though empty slots replicate b0.
+        let a = HEAP_BASE; // low byte 0
+        let b = HEAP_BASE + 8;
+        let e = match fold(a, b) {
+            Fold::Merged(e) => e,
+            other => panic!("{other:?}"),
+        };
+        let mut locs = locations(e).collect::<Vec<_>>();
+        locs.sort_unstable();
+        assert_eq!(locs, vec![a, b]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Runtime configuration for the DangSan detector.
+//!
+//! The paper fixes these at compile time; the reproduction keeps them
+//! runtime-tunable so the ablation benchmarks (`dangsan-bench`, bin
+//! `ablations`) can sweep them without rebuilding.
+
+/// Entries embedded directly in each per-thread log (Figure 7's static log).
+pub const EMBEDDED_ENTRIES: usize = 8;
+
+/// Detector tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// How many most-recent entries `regptr` re-checks before appending,
+    /// to suppress repeated registration of the same location (§4.4:
+    /// "we have chosen to use a lookback size of four").
+    pub lookback: usize,
+    /// Capacity (entries) of the first indirect overflow block.
+    pub indirect_capacity: usize,
+    /// Enable Figure 8 pointer compression (≤3 locations that differ only
+    /// in their low byte share one 8-byte entry).
+    pub compression: bool,
+    /// Fall back to a hash table once the indirect log fills (§4.4). When
+    /// disabled, indirect blocks chain and double instead — the
+    /// "near-unbounded memory consumption" ablation.
+    pub hash_fallback: bool,
+    /// Initial hash-table capacity (slots, power of two).
+    pub hash_initial: usize,
+    /// §7 extension (described but not implemented in the paper): hook
+    /// `memcpy`-style moves and re-register any word that resolves to a
+    /// tracked object at its new location. Closes the realloc-move false
+    /// negative at the cost of scanning every copied word.
+    pub hook_memcpy: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            lookback: 4,
+            indirect_capacity: 64,
+            compression: true,
+            hash_fallback: true,
+            hash_initial: 64,
+            hook_memcpy: false,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's default configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different lookback window.
+    pub fn with_lookback(mut self, lookback: usize) -> Self {
+        self.lookback = lookback;
+        self
+    }
+
+    /// Returns a copy with compression toggled.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Returns a copy with the hash fallback toggled.
+    pub fn with_hash_fallback(mut self, on: bool) -> Self {
+        self.hash_fallback = on;
+        self
+    }
+
+    /// Returns a copy with the §7 memcpy-hook extension toggled.
+    pub fn with_memcpy_hook(mut self, on: bool) -> Self {
+        self.hook_memcpy = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::paper();
+        assert_eq!(c.lookback, 4);
+        assert!(c.compression);
+        assert!(c.hash_fallback);
+        assert!(!c.hook_memcpy, "the paper did not implement the hook");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::default()
+            .with_lookback(1)
+            .with_compression(false)
+            .with_hash_fallback(false);
+        assert_eq!(c.lookback, 1);
+        assert!(!c.compression);
+        assert!(!c.hash_fallback);
+    }
+}

@@ -1,0 +1,338 @@
+//! The heap tracker (paper §4.2): allocator interposition.
+//!
+//! [`HookedHeap`] pairs the tcmalloc-style heap with a [`Detector`] and
+//! implements the hook ordering the paper requires:
+//!
+//! * `malloc` → allocate, then `createobj`;
+//! * `free`   → validate, **invalidate pointers while the object is still
+//!   live**, then release the memory;
+//! * `realloc`→ the three cases of §4.2 (unchanged / grown in place /
+//!   moved), with invalidation only in the moved case.
+//!
+//! It also provides `store_ptr`, the "instrumented pointer store": the
+//! memory write followed by the `registerptr` call that the LLVM pass
+//! would have inserted.
+
+use std::sync::Arc;
+
+use dangsan_heap::{AllocError, Allocation, FreeInfo, Heap, ReallocOutcome, ThreadCache};
+use dangsan_vmem::{Addr, AddressSpace, MemFault};
+
+use crate::api::{Detector, InvalidationReport};
+
+/// A heap whose allocator operations drive a detector.
+///
+/// Generic over the (possibly unsized) detector type so multithreaded
+/// callers can demand `HookedHeap<dyn Detector + Send + Sync>` while
+/// single-threaded callers (running e.g. a FreeSentry-style detector) use
+/// `HookedHeap<dyn Detector>`.
+pub struct HookedHeap<D: Detector + ?Sized> {
+    heap: Arc<Heap>,
+    detector: Arc<D>,
+}
+
+impl<D: Detector + ?Sized> Clone for HookedHeap<D> {
+    fn clone(&self) -> Self {
+        HookedHeap {
+            heap: Arc::clone(&self.heap),
+            detector: Arc::clone(&self.detector),
+        }
+    }
+}
+
+impl<D: Detector + ?Sized> HookedHeap<D> {
+    /// Pairs `heap` with `detector`.
+    pub fn new(heap: Arc<Heap>, detector: Arc<D>) -> Self {
+        HookedHeap { heap, detector }
+    }
+
+    /// The underlying allocator.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// The attached detector.
+    pub fn detector(&self) -> &Arc<D> {
+        &self.detector
+    }
+
+    /// The simulated memory.
+    pub fn mem(&self) -> &Arc<AddressSpace> {
+        self.heap.mem()
+    }
+
+    /// Hooked `malloc`.
+    pub fn malloc(&self, size: u64) -> Result<Allocation, AllocError> {
+        let a = self.heap.malloc(size)?;
+        self.detector.on_alloc(&a);
+        Ok(a)
+    }
+
+    /// Hooked `calloc`.
+    pub fn calloc(&self, count: u64, size: u64) -> Result<Allocation, AllocError> {
+        let a = self.heap.calloc(count, size)?;
+        self.detector.on_alloc(&a);
+        Ok(a)
+    }
+
+    /// Hooked `free`: validate → invalidate → release.
+    pub fn free(&self, addr: Addr) -> Result<InvalidationReport, AllocError> {
+        self.heap.resolve_free(addr)?;
+        let report = self.detector.on_free(addr);
+        self.heap.free(addr)?;
+        Ok(report)
+    }
+
+    /// Hooked `realloc` (§4.2's three cases).
+    pub fn realloc(
+        &self,
+        addr: Addr,
+        new_size: u64,
+    ) -> Result<(Allocation, InvalidationReport), AllocError> {
+        // Invalidation must precede the allocator's move+free, so probe
+        // the outcome first: ask the allocator only after handling hooks.
+        // The allocator decides in-place vs. move internally; we mirror
+        // its decision by checking the current object's stride.
+        let (base, usable) = self
+            .heap
+            .object_of(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        if base != addr {
+            return Err(AllocError::NotAnObject(addr));
+        }
+        if new_size <= usable {
+            // Cases 1–2: unchanged or grown in place.
+            match self.heap.realloc(addr, new_size)? {
+                ReallocOutcome::InPlace(a) => {
+                    self.detector.on_realloc_in_place(addr, new_size);
+                    Ok((a, InvalidationReport::default()))
+                }
+                ReallocOutcome::Moved { .. } => {
+                    unreachable!("allocator moved although the size fits")
+                }
+            }
+        } else {
+            // Case 3: moved. malloc+memcpy+free with hooks in order.
+            let new = self.malloc(new_size)?;
+            let copied = usable.min(new_size);
+            self.heap
+                .mem()
+                .copy(addr, new.base, copied)
+                .expect("both objects mapped");
+            // No-op unless the detector implements the §7 memcpy hook.
+            self.detector.on_memcpy(new.base, copied);
+            let report = self.free(addr)?;
+            Ok((new, report))
+        }
+    }
+
+    /// The instrumented pointer store: write `value` to `loc` and register
+    /// the location with the detector.
+    #[inline]
+    pub fn store_ptr(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
+        self.mem().write_word(loc, value)?;
+        self.detector.register_ptr(loc, value);
+        Ok(())
+    }
+
+    /// An uninstrumented store (a non-pointer-typed store in the paper's
+    /// terms — the pass does not hook it).
+    #[inline]
+    pub fn store_untracked(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
+        self.mem().write_word(loc, value)
+    }
+
+    /// A hooked `memcpy`: copies the bytes and lets the detector rescan
+    /// the destination (a no-op for the paper-default configuration).
+    pub fn memcpy(&self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
+        self.mem().copy(src, dst, len)?;
+        self.detector.on_memcpy(dst, len);
+        Ok(())
+    }
+
+    /// Loads a word, trapping on invalidated pointers like real hardware.
+    #[inline]
+    pub fn load(&self, loc: Addr) -> Result<u64, MemFault> {
+        self.mem().read_word(loc)
+    }
+
+    /// Creates a per-thread handle with a private allocator cache.
+    pub fn thread_handle(&self) -> HookedThread<D> {
+        HookedThread {
+            hooked: self.clone(),
+            cache: ThreadCache::new(Arc::clone(&self.heap)),
+        }
+    }
+}
+
+/// Per-thread view of a [`HookedHeap`]: same hooks, cached allocator fast
+/// path. Not `Sync`; create one per worker.
+pub struct HookedThread<D: Detector + ?Sized> {
+    hooked: HookedHeap<D>,
+    cache: ThreadCache,
+}
+
+impl<D: Detector + ?Sized> HookedThread<D> {
+    /// The shared hooked heap.
+    pub fn shared(&self) -> &HookedHeap<D> {
+        &self.hooked
+    }
+
+    /// Hooked `malloc` via the thread cache.
+    pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        let a = self.cache.malloc(size)?;
+        self.hooked.detector.on_alloc(&a);
+        Ok(a)
+    }
+
+    /// Hooked `free` via the thread cache (validate → invalidate →
+    /// release).
+    pub fn free(&mut self, addr: Addr) -> Result<InvalidationReport, AllocError> {
+        self.hooked.heap.resolve_free(addr)?;
+        let report = self.hooked.detector.on_free(addr);
+        self.cache.free(addr)?;
+        Ok(report)
+    }
+
+    /// See [`HookedHeap::store_ptr`].
+    #[inline]
+    pub fn store_ptr(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
+        self.hooked.store_ptr(loc, value)
+    }
+
+    /// See [`HookedHeap::store_untracked`].
+    #[inline]
+    pub fn store_untracked(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
+        self.hooked.store_untracked(loc, value)
+    }
+
+    /// See [`HookedHeap::load`].
+    #[inline]
+    pub fn load(&self, loc: Addr) -> Result<u64, MemFault> {
+        self.hooked.load(loc)
+    }
+
+    /// Grants access to the free info of a pending free without freeing —
+    /// used by tests.
+    pub fn resolve_free(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
+        self.hooked.heap.resolve_free(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NullDetector;
+    use crate::config::Config;
+    use crate::detector::DangSan;
+    use dangsan_vmem::{FaultKind, INVALID_BIT};
+
+    fn setup_dangsan() -> (Arc<AddressSpace>, HookedHeap<DangSan>) {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        let det = DangSan::new(Arc::clone(&mem), Config::default());
+        (mem.clone(), HookedHeap::new(heap, det))
+    }
+
+    #[test]
+    fn end_to_end_use_after_free_detection() {
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(48).unwrap();
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        let report = hh.free(obj.base).unwrap();
+        assert_eq!(report.invalidated, 1);
+        // The program loads the dangling pointer and dereferences it.
+        let dangling = hh.load(holder.base).unwrap();
+        assert_eq!(dangling, obj.base | INVALID_BIT);
+        let fault = hh.load(dangling).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::NonCanonical);
+        assert_eq!(fault.original_addr(), obj.base);
+    }
+
+    #[test]
+    fn free_of_dangling_pointer_reports_invalid() {
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(48).unwrap();
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        hh.free(obj.base).unwrap();
+        // Double free through the (invalidated) dangling pointer: the
+        // allocator aborts, as tcmalloc does in the paper's OpenSSL demo.
+        let dangling = hh.load(holder.base).unwrap();
+        assert_eq!(hh.free(dangling), Err(AllocError::InvalidPointer(dangling)));
+    }
+
+    #[test]
+    fn realloc_in_place_keeps_pointers_valid() {
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(16).unwrap();
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        let (new, report) = hh.realloc(obj.base, obj.usable).unwrap();
+        assert_eq!(new.base, obj.base);
+        assert_eq!(report, InvalidationReport::default());
+        assert_eq!(hh.load(holder.base).unwrap(), obj.base, "still valid");
+        hh.free(obj.base).unwrap();
+    }
+
+    #[test]
+    fn realloc_move_invalidates_old_pointers() {
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(16).unwrap();
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        hh.store_untracked(obj.base, 0xFEED).unwrap();
+        let (new, report) = hh.realloc(obj.base, 5000).unwrap();
+        assert_ne!(new.base, obj.base);
+        assert_eq!(report.invalidated, 1);
+        assert_eq!(hh.load(new.base).unwrap(), 0xFEED, "contents copied");
+        assert_eq!(
+            hh.load(holder.base).unwrap(),
+            obj.base | INVALID_BIT,
+            "old pointer neutralised"
+        );
+        hh.free(new.base).unwrap();
+    }
+
+    #[test]
+    fn thread_handles_work_end_to_end() {
+        let (_, hh) = setup_dangsan();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let hh = hh.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut th = hh.thread_handle();
+                for _ in 0..500 {
+                    let obj = th.malloc(32).unwrap();
+                    let holder = th.malloc(8).unwrap();
+                    th.store_ptr(holder.base, obj.base).unwrap();
+                    let r = th.free(obj.base).unwrap();
+                    assert_eq!(r.invalidated, 1);
+                    th.free(holder.base).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = hh.detector().stats();
+        assert_eq!(s.ptrs_invalidated, 4 * 500);
+    }
+
+    #[test]
+    fn null_detector_heap_has_no_protection() {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        let hh = HookedHeap::new(heap, Arc::new(NullDetector));
+        let obj = hh.malloc(48).unwrap();
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        hh.free(obj.base).unwrap();
+        // The dangling pointer silently dereferences: this is the
+        // unprotected baseline (and the vulnerability).
+        let dangling = hh.load(holder.base).unwrap();
+        assert_eq!(dangling, obj.base);
+        assert!(hh.load(dangling).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the Figure 8 pointer-compression encoding.
+
+use dangsan::compress::{contains, fold, locations, Fold};
+use dangsan_vmem::HEAP_BASE;
+use proptest::prelude::*;
+
+/// A random word-aligned user-space location.
+fn loc_strategy() -> impl Strategy<Value = u64> {
+    (0u64..(1 << 43)).prop_map(|v| (HEAP_BASE + v * 8) & ((1 << 47) - 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Folding any sequence of locations into a single entry never loses
+    /// or invents locations: the decoded set equals the accepted inputs.
+    #[test]
+    fn fold_preserves_location_sets(
+        base in loc_strategy(),
+        lsbs in proptest::collection::vec(0u64..32, 1..6),
+    ) {
+        // Candidate locations share the high bits (same 256-byte window).
+        let cands: Vec<u64> = lsbs.iter().map(|l| (base & !0xff) | (l * 8)).collect();
+        let mut entry = cands[0];
+        let mut accepted = vec![cands[0]];
+        for &loc in &cands[1..] {
+            match fold(entry, loc) {
+                Fold::Duplicate => {
+                    prop_assert!(accepted.contains(&loc));
+                }
+                Fold::Merged(e) => {
+                    entry = e;
+                    accepted.push(loc);
+                }
+                Fold::Full => {
+                    // A full entry must already hold 3 distinct locations.
+                    prop_assert_eq!(locations(entry).count(), 3);
+                    break;
+                }
+            }
+        }
+        let mut decoded: Vec<u64> = locations(entry).collect();
+        decoded.sort_unstable();
+        accepted.sort_unstable();
+        accepted.dedup();
+        prop_assert_eq!(decoded, accepted);
+    }
+
+    /// `contains` agrees with the decoded location set for any entry
+    /// reachable by folding.
+    #[test]
+    fn contains_matches_decode(a in loc_strategy(), d1 in 1u64..32, d2 in 1u64..32) {
+        let a = a & !0xff;
+        let b = a + d1 * 8;
+        let c = a + ((d1 + d2) % 32) * 8;
+        let mut entry = a;
+        for loc in [b, c] {
+            if let Fold::Merged(e) = fold(entry, loc) {
+                entry = e;
+            }
+        }
+        let decoded: Vec<u64> = locations(entry).collect();
+        for probe in [a, b, c, a + 8, a + 248] {
+            prop_assert_eq!(
+                contains(entry, probe),
+                decoded.contains(&probe),
+                "probe {:#x} decoded {:x?}",
+                probe,
+                decoded
+            );
+        }
+    }
+
+    /// Locations in different 256-byte windows never merge.
+    #[test]
+    fn distinct_windows_never_merge(a in loc_strategy(), b in loc_strategy()) {
+        prop_assume!(a >> 8 != b >> 8);
+        prop_assert_eq!(fold(a, b), Fold::Full);
+    }
+}

@@ -1,0 +1,628 @@
+//! The heap proper: page heap, central free lists, malloc/free/realloc.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dangsan_vmem::{Addr, AddressSpace, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::size_classes::{class_for_size, classes, SizeClass};
+use crate::span::{SpanInfo, SpanRegistry};
+use crate::{AllocError, Allocation, FreeInfo};
+
+/// Objects moved between a thread cache and a central list per lock
+/// acquisition.
+pub(crate) const BATCH: usize = 32;
+
+struct PageHeap {
+    /// Next unused page offset within the heap segment (bump pointer).
+    next_page: u64,
+    /// Reusable dedicated spans for large allocations, keyed by page count.
+    large_pool: BTreeMap<u64, Vec<Addr>>,
+}
+
+/// Allocator statistics (all monotonic counters).
+#[derive(Debug, Default)]
+pub struct HeapStats {
+    /// Number of successful `malloc`s (including realloc-moves).
+    pub mallocs: AtomicU64,
+    /// Number of successful `free`s.
+    pub frees: AtomicU64,
+    /// Spans carved from the page heap.
+    pub spans: AtomicU64,
+    /// Sum of requested allocation sizes.
+    pub requested_bytes: AtomicU64,
+}
+
+/// Outcome of `realloc`, mirroring the three cases of paper §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReallocOutcome {
+    /// The object was left (or grown) in place; pointers stay valid and
+    /// need not be invalidated.
+    InPlace(Allocation),
+    /// A new object was allocated and the contents copied; the caller's
+    /// hooked `malloc`/`free` handle mapping and invalidation.
+    Moved {
+        /// The old object, already freed.
+        old: FreeInfo,
+        /// The replacement allocation holding the copied bytes.
+        new: Allocation,
+    },
+}
+
+/// The tcmalloc-style heap.
+///
+/// Thread-safe: the fast path for cached operations is in
+/// [`crate::ThreadCache`]; direct [`Heap::malloc`]/[`Heap::free`] go through
+/// the per-class central lists (one short lock each).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dangsan_vmem::AddressSpace;
+/// use dangsan_heap::Heap;
+///
+/// let mem = Arc::new(AddressSpace::new());
+/// let heap = Heap::new(Arc::clone(&mem));
+/// let a = heap.malloc(24).unwrap();
+/// mem.write_word(a.base, 7).unwrap();
+/// heap.free(a.base).unwrap();
+/// ```
+pub struct Heap {
+    mem: Arc<AddressSpace>,
+    registry: SpanRegistry,
+    page_heap: Mutex<PageHeap>,
+    central: Vec<Mutex<Vec<Addr>>>,
+    heap_pages: AtomicU64,
+    /// Public statistics.
+    pub stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap managing the simulated heap segment of `mem`.
+    pub fn new(mem: Arc<AddressSpace>) -> Arc<Heap> {
+        let central = classes().iter().map(|_| Mutex::new(Vec::new())).collect();
+        Arc::new(Heap {
+            mem,
+            registry: SpanRegistry::new(),
+            page_heap: Mutex::new(PageHeap {
+                next_page: 0,
+                large_pool: BTreeMap::new(),
+            }),
+            central,
+            heap_pages: AtomicU64::new(0),
+            stats: HeapStats::default(),
+        })
+    }
+
+    /// The address space this heap allocates from.
+    pub fn mem(&self) -> &Arc<AddressSpace> {
+        &self.mem
+    }
+
+    /// The page-to-span registry (used by tests and diagnostics).
+    pub fn registry(&self) -> &SpanRegistry {
+        &self.registry
+    }
+
+    /// Bytes of simulated memory the heap has claimed (its resident set).
+    pub fn resident_bytes(&self) -> u64 {
+        self.heap_pages.load(Ordering::Relaxed) * PAGE_SIZE
+    }
+
+    /// Returns whether `addr` is inside the heap segment.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&addr)
+    }
+
+    fn carve_pages(&self, pages: u64) -> Result<Addr, AllocError> {
+        let mut ph = self.page_heap.lock();
+        let start_page = ph.next_page;
+        if (start_page + pages) * PAGE_SIZE > HEAP_SIZE {
+            return Err(AllocError::OutOfMemory);
+        }
+        ph.next_page += pages;
+        drop(ph);
+        let start = HEAP_BASE + start_page * PAGE_SIZE;
+        self.mem
+            .map(start, pages * PAGE_SIZE)
+            .map_err(|_| AllocError::OutOfMemory)?;
+        self.heap_pages.fetch_add(pages, Ordering::Relaxed);
+        self.stats.spans.fetch_add(1, Ordering::Relaxed);
+        Ok(start)
+    }
+
+    /// Carves a fresh span for `class` and pushes its objects onto `out`.
+    fn refill_from_new_span(
+        &self,
+        class: &SizeClass,
+        out: &mut Vec<Addr>,
+    ) -> Result<(), AllocError> {
+        let start = self.carve_pages(class.span_pages)?;
+        let span = SpanInfo::new(
+            start,
+            class.span_pages,
+            class.size,
+            class.objects_per_span,
+            class.shift,
+            false,
+        );
+        let span = self.registry.insert(span);
+        for i in 0..span.objects {
+            out.push(span.object_base(i));
+        }
+        Ok(())
+    }
+
+    /// Pops up to `want` objects of `class` from the central list into
+    /// `out`, refilling from a fresh span when the list runs dry.
+    pub(crate) fn central_pop(
+        &self,
+        class: &SizeClass,
+        want: usize,
+        out: &mut Vec<Addr>,
+    ) -> Result<(), AllocError> {
+        let mut list = self.central[class.id as usize].lock();
+        if list.is_empty() {
+            self.refill_from_new_span(class, &mut list)?;
+        }
+        let take = want.min(list.len());
+        let at = list.len() - take;
+        out.extend(list.drain(at..));
+        Ok(())
+    }
+
+    /// Returns objects of `class` to the central list.
+    pub(crate) fn central_push(&self, class_id: u32, objs: &mut Vec<Addr>, keep: usize) {
+        let mut list = self.central[class_id as usize].lock();
+        list.extend(objs.drain(keep..));
+    }
+
+    fn finish_alloc(&self, span: &SpanInfo, base: Addr, requested: u64) -> Allocation {
+        let idx = span.object_index(base).expect("base inside span");
+        let fresh = span.mark_allocated(idx);
+        debug_assert!(fresh, "object handed out twice");
+        self.stats.mallocs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .requested_bytes
+            .fetch_add(requested, Ordering::Relaxed);
+        Allocation {
+            base,
+            requested,
+            usable: span.stride - 1,
+            span_start: span.start,
+            span_pages: span.pages,
+            stride: span.stride,
+            shift: span.shift,
+        }
+    }
+
+    pub(crate) fn alloc_small(
+        &self,
+        class: &SizeClass,
+        requested: u64,
+    ) -> Result<Allocation, AllocError> {
+        let mut one = Vec::with_capacity(1);
+        self.central_pop(class, 1, &mut one)?;
+        let base = one.pop().expect("central_pop returns at least one");
+        let span = self.registry.lookup(base).expect("object has a span");
+        Ok(self.finish_alloc(span, base, requested))
+    }
+
+    fn alloc_large(&self, requested: u64) -> Result<Allocation, AllocError> {
+        let pages = (requested + 1).div_ceil(PAGE_SIZE);
+        let reused = {
+            let mut ph = self.page_heap.lock();
+            ph.large_pool.get_mut(&pages).and_then(Vec::pop)
+        };
+        let start = match reused {
+            Some(start) => start,
+            None => {
+                let start = self.carve_pages(pages)?;
+                self.registry
+                    .insert(SpanInfo::new(start, pages, pages * PAGE_SIZE, 1, 12, true));
+                start
+            }
+        };
+        let span = self.registry.lookup(start).expect("span just ensured");
+        // Reused spans may contain stale data; programs expect malloc'd
+        // memory to be arbitrary, but we zero to keep runs deterministic.
+        self.mem
+            .zero(start, span.pages * PAGE_SIZE)
+            .expect("span memory is mapped");
+        Ok(self.finish_alloc(span, start, requested))
+    }
+
+    /// Allocates `size` bytes (plus the paper's one guard byte) and returns
+    /// the object with its span layout.
+    pub fn malloc(&self, size: u64) -> Result<Allocation, AllocError> {
+        let internal = size.checked_add(1).ok_or(AllocError::BadSize)?;
+        match class_for_size(internal) {
+            Some(class) => self.alloc_small(class, size),
+            None => self.alloc_large(size),
+        }
+    }
+
+    /// `calloc`: allocates and zero-fills (reused small objects may
+    /// otherwise carry stale bytes, exactly like real malloc).
+    pub fn calloc(&self, count: u64, size: u64) -> Result<Allocation, AllocError> {
+        let total = count.checked_mul(size).ok_or(AllocError::BadSize)?;
+        let a = self.malloc(total)?;
+        self.mem
+            .zero(a.base, total)
+            .expect("fresh allocation is mapped");
+        Ok(a)
+    }
+
+    /// Validates that `addr` is the base of a live heap object without
+    /// changing any state. The heap tracker calls this before letting the
+    /// detector invalidate pointers, so invalidation always happens while
+    /// the object still owns its memory.
+    pub fn resolve_free(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
+        if addr & INVALID_BIT != 0 {
+            return Err(AllocError::InvalidPointer(addr));
+        }
+        let span = self
+            .registry
+            .lookup(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        let idx = span
+            .object_index(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        if span.object_base(idx) != addr {
+            return Err(AllocError::NotAnObject(addr));
+        }
+        if !span.is_allocated(idx) {
+            return Err(AllocError::DoubleFree(addr));
+        }
+        Ok(FreeInfo {
+            base: addr,
+            usable: span.stride - 1,
+        })
+    }
+
+    /// Shared free logic: validates, clears the liveness bit, and returns
+    /// the span so the caller can decide where the object goes.
+    pub(crate) fn release(&self, addr: Addr) -> Result<(&SpanInfo, FreeInfo), AllocError> {
+        if addr & INVALID_BIT != 0 {
+            return Err(AllocError::InvalidPointer(addr));
+        }
+        let span = self
+            .registry
+            .lookup(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        let idx = span
+            .object_index(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        if span.object_base(idx) != addr {
+            return Err(AllocError::NotAnObject(addr));
+        }
+        if !span.mark_free(idx) {
+            return Err(AllocError::DoubleFree(addr));
+        }
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        Ok((
+            span,
+            FreeInfo {
+                base: addr,
+                usable: span.stride - 1,
+            },
+        ))
+    }
+
+    /// Returns a (released) large span to the reuse pool.
+    pub(crate) fn pool_large(&self, span: &SpanInfo) {
+        let mut ph = self.page_heap.lock();
+        ph.large_pool
+            .entry(span.pages)
+            .or_default()
+            .push(span.start);
+    }
+
+    /// Frees the object at `addr` through the central lists.
+    pub fn free(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
+        let (span, info) = self.release(addr)?;
+        if span.large {
+            self.pool_large(span);
+        } else {
+            let class_id = class_for_size(span.stride)
+                .expect("span stride is a class size")
+                .id;
+            self.central[class_id as usize].lock().push(addr);
+        }
+        Ok(info)
+    }
+
+    /// Resizes the object at `addr` (paper §4.2 semantics).
+    ///
+    /// In-place when the new size still fits the object's stride; otherwise
+    /// allocates, copies, and frees, returning both halves so a heap
+    /// tracker can invalidate pointers to the old object.
+    pub fn realloc(&self, addr: Addr, new_size: u64) -> Result<ReallocOutcome, AllocError> {
+        if addr & INVALID_BIT != 0 {
+            return Err(AllocError::InvalidPointer(addr));
+        }
+        let span = self
+            .registry
+            .lookup(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        let idx = span
+            .object_index(addr)
+            .ok_or(AllocError::NotAnObject(addr))?;
+        if span.object_base(idx) != addr || !span.is_allocated(idx) {
+            return Err(AllocError::NotAnObject(addr));
+        }
+        let internal = new_size.checked_add(1).ok_or(AllocError::BadSize)?;
+        if internal <= span.stride {
+            return Ok(ReallocOutcome::InPlace(Allocation {
+                base: addr,
+                requested: new_size,
+                usable: span.stride - 1,
+                span_start: span.start,
+                span_pages: span.pages,
+                stride: span.stride,
+                shift: span.shift,
+            }));
+        }
+        let old_usable = span.stride - 1;
+        let new = self.malloc(new_size)?;
+        let copy_len = old_usable.min(new_size);
+        // The simulated memcpy: like the real one, it copies pointer bits
+        // without telling the detector (paper §7 limitation).
+        self.mem
+            .copy(addr, new.base, copy_len)
+            .expect("both objects are mapped");
+        let old = self.free(addr)?;
+        Ok(ReallocOutcome::Moved { old, new })
+    }
+
+    /// Resolves an arbitrary interior pointer to `(object base, usable)`.
+    pub fn object_of(&self, addr: Addr) -> Option<(Addr, u64)> {
+        self.registry.object_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<AddressSpace>, Arc<Heap>) {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        (mem, heap)
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let (mem, heap) = setup();
+        let a = heap.malloc(100).unwrap();
+        assert!(heap.contains(a.base));
+        assert!(a.usable >= 100);
+        mem.write_word(a.base, 42).unwrap();
+        let info = heap.free(a.base).unwrap();
+        assert_eq!(info.base, a.base);
+    }
+
+    #[test]
+    fn guard_byte_forces_next_class() {
+        let (_, heap) = setup();
+        // Requesting exactly a class size must land in the *next* class
+        // because of the +1 guard byte.
+        let a = heap.malloc(8).unwrap();
+        assert!(a.stride > 8, "stride {} should exceed 8", a.stride);
+    }
+
+    #[test]
+    fn objects_do_not_overlap() {
+        let (_, heap) = setup();
+        let mut allocs = Vec::new();
+        for i in 0..500u64 {
+            allocs.push(heap.malloc(1 + (i % 300)).unwrap());
+        }
+        let mut ranges: Vec<(u64, u64)> =
+            allocs.iter().map(|a| (a.base, a.base + a.stride)).collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn free_reuses_memory() {
+        let (_, heap) = setup();
+        let a = heap.malloc(64).unwrap();
+        heap.free(a.base).unwrap();
+        let b = heap.malloc(64).unwrap();
+        assert_eq!(a.base, b.base, "LIFO reuse from central list");
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (_, heap) = setup();
+        let a = heap.malloc(64).unwrap();
+        heap.free(a.base).unwrap();
+        assert_eq!(heap.free(a.base), Err(AllocError::DoubleFree(a.base)));
+    }
+
+    #[test]
+    fn invalidated_pointer_free_detected() {
+        let (_, heap) = setup();
+        let a = heap.malloc(64).unwrap();
+        let dangling = a.base | INVALID_BIT;
+        assert_eq!(
+            heap.free(dangling),
+            Err(AllocError::InvalidPointer(dangling))
+        );
+        let msg = AllocError::InvalidPointer(dangling).to_string();
+        assert!(msg.contains("Attempt to free invalid pointer"));
+    }
+
+    #[test]
+    fn interior_free_rejected() {
+        let (_, heap) = setup();
+        let a = heap.malloc(64).unwrap();
+        assert_eq!(
+            heap.free(a.base + 8),
+            Err(AllocError::NotAnObject(a.base + 8))
+        );
+    }
+
+    #[test]
+    fn large_allocations_roundtrip_and_reuse() {
+        let (mem, heap) = setup();
+        let a = heap.malloc(100_000).unwrap();
+        assert_eq!(a.span_pages, (100_001u64).div_ceil(PAGE_SIZE));
+        assert_eq!(a.shift, 12);
+        mem.write_word(a.base + 99_992, 7).unwrap();
+        heap.free(a.base).unwrap();
+        let b = heap.malloc(100_000).unwrap();
+        assert_eq!(a.base, b.base, "large span reused");
+        // Reused span is zeroed.
+        assert_eq!(mem.read_word(b.base + 99_992).unwrap(), 0);
+    }
+
+    #[test]
+    fn realloc_in_place_when_it_fits() {
+        let (_, heap) = setup();
+        let a = heap.malloc(20).unwrap();
+        match heap.realloc(a.base, a.usable).unwrap() {
+            ReallocOutcome::InPlace(n) => {
+                assert_eq!(n.base, a.base);
+                assert_eq!(n.requested, a.usable);
+            }
+            other => panic!("expected in-place, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn realloc_moves_and_copies() {
+        let (mem, heap) = setup();
+        let a = heap.malloc(24).unwrap();
+        mem.write_word(a.base, 0x1111).unwrap();
+        mem.write_word(a.base + 16, 0x2222).unwrap();
+        match heap.realloc(a.base, 5000).unwrap() {
+            ReallocOutcome::Moved { old, new } => {
+                assert_eq!(old.base, a.base);
+                assert_ne!(new.base, a.base);
+                assert_eq!(mem.read_word(new.base).unwrap(), 0x1111);
+                assert_eq!(mem.read_word(new.base + 16).unwrap(), 0x2222);
+                // Old object is gone.
+                assert_eq!(heap.free(a.base), Err(AllocError::DoubleFree(a.base)));
+            }
+            other => panic!("expected move, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn object_of_interior_pointer() {
+        let (_, heap) = setup();
+        let a = heap.malloc(100).unwrap();
+        let (base, usable) = heap.object_of(a.base + 57).unwrap();
+        assert_eq!(base, a.base);
+        assert_eq!(usable, a.usable);
+        assert!(
+            heap.object_of(a.base + a.stride).is_none() || {
+                // Next slot may be another (not yet allocated) object: must not
+                // resolve to a live object.
+                heap.object_of(a.base + a.stride).is_none()
+            }
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let (_, heap) = setup();
+        let a = heap.malloc(10).unwrap();
+        let b = heap.malloc(10).unwrap();
+        heap.free(a.base).unwrap();
+        assert_eq!(heap.stats.mallocs.load(Ordering::Relaxed), 2);
+        assert_eq!(heap.stats.frees.load(Ordering::Relaxed), 1);
+        assert_eq!(heap.stats.requested_bytes.load(Ordering::Relaxed), 20);
+        heap.free(b.base).unwrap();
+    }
+
+    #[test]
+    fn resident_bytes_grow_with_spans() {
+        let (_, heap) = setup();
+        assert_eq!(heap.resident_bytes(), 0);
+        let _a = heap.malloc(10).unwrap();
+        assert!(heap.resident_bytes() >= PAGE_SIZE);
+    }
+
+    #[test]
+    fn oversized_allocation_reports_oom() {
+        let (_, heap) = setup();
+        // A single request larger than the heap segment fails cleanly
+        // before any pages are mapped.
+        assert_eq!(heap.malloc(HEAP_SIZE), Err(AllocError::OutOfMemory));
+        assert_eq!(heap.resident_bytes(), 0, "nothing was mapped");
+        // The heap still works afterwards.
+        let a = heap.malloc(64).unwrap();
+        heap.free(a.base).unwrap();
+    }
+
+    #[test]
+    fn calloc_zeroes_reused_memory() {
+        let (mem, heap) = setup();
+        let a = heap.malloc(64).unwrap();
+        mem.write_word(a.base, 0xDEAD).unwrap();
+        heap.free(a.base).unwrap();
+        // malloc reuses the object with stale bytes...
+        let b = heap.malloc(64).unwrap();
+        assert_eq!(b.base, a.base);
+        assert_eq!(mem.read_word(b.base).unwrap(), 0xDEAD, "stale bytes");
+        heap.free(b.base).unwrap();
+        // ...calloc does not.
+        let c = heap.calloc(8, 8).unwrap();
+        assert_eq!(c.base, a.base);
+        assert_eq!(mem.read_word(c.base).unwrap(), 0);
+        heap.free(c.base).unwrap();
+    }
+
+    #[test]
+    fn calloc_rejects_overflowing_products() {
+        let (_, heap) = setup();
+        assert_eq!(heap.calloc(u64::MAX, 16), Err(AllocError::BadSize));
+    }
+
+    #[test]
+    fn zero_size_malloc_is_allowed() {
+        let (_, heap) = setup();
+        let a = heap.malloc(0).unwrap();
+        let b = heap.malloc(0).unwrap();
+        assert_ne!(a.base, b.base, "zero-size objects are distinct");
+        heap.free(a.base).unwrap();
+        heap.free(b.base).unwrap();
+    }
+
+    #[test]
+    fn concurrent_malloc_free() {
+        let (_, heap) = setup();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let heap = Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                let mut live = Vec::new();
+                for i in 0..2000u64 {
+                    live.push(heap.malloc(8 + i % 200).unwrap().base);
+                    if live.len() > 64 {
+                        let victim = live.swap_remove((i % 64) as usize);
+                        heap.free(victim).unwrap();
+                    }
+                }
+                for a in live {
+                    heap.free(a).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            heap.stats.mallocs.load(Ordering::Relaxed),
+            heap.stats.frees.load(Ordering::Relaxed)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the tcmalloc-style allocator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dangsan_heap::{AllocError, Heap, ThreadCache};
+use dangsan_vmem::AddressSpace;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc(u64),
+    FreeNth(usize),
+    Realloc(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..20_000).prop_map(Op::Malloc),
+        2 => any::<usize>().prop_map(Op::FreeNth),
+        1 => (any::<usize>(), 1u64..20_000).prop_map(|(i, s)| Op::Realloc(i, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary malloc/free/realloc sequences, live objects never
+    /// overlap, `object_of` resolves every interior pointer to the right
+    /// base, and data survives reallocation.
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        // live: base -> (requested, tag written at base)
+        let mut live: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut tag = 1u64;
+        for op in ops {
+            match op {
+                Op::Malloc(size) => {
+                    let a = heap.malloc(size).unwrap();
+                    prop_assert!(a.usable >= size);
+                    if size >= 8 {
+                        mem.write_word(a.base, tag).unwrap();
+                        live.insert(a.base, (size, tag));
+                    } else {
+                        live.insert(a.base, (size, 0));
+                    }
+                    tag += 1;
+                }
+                Op::FreeNth(i) => {
+                    if live.is_empty() { continue; }
+                    let key = *live.keys().nth(i % live.len()).unwrap();
+                    live.remove(&key);
+                    heap.free(key).unwrap();
+                }
+                Op::Realloc(i, new_size) => {
+                    if live.is_empty() { continue; }
+                    let key = *live.keys().nth(i % live.len()).unwrap();
+                    let (old_size, old_tag) = live.remove(&key).unwrap();
+                    match heap.realloc(key, new_size).unwrap() {
+                        dangsan_heap::ReallocOutcome::InPlace(a) => {
+                            prop_assert_eq!(a.base, key);
+                            live.insert(key, (new_size.max(old_size), old_tag));
+                        }
+                        dangsan_heap::ReallocOutcome::Moved { old, new } => {
+                            prop_assert_eq!(old.base, key);
+                            if old_tag != 0 && new_size >= 8 {
+                                prop_assert_eq!(mem.read_word(new.base).unwrap(), old_tag);
+                            }
+                            live.insert(new.base, (new_size, old_tag));
+                        }
+                    }
+                }
+            }
+            // Invariant: tags intact => no overlap corrupted anything.
+            for (&base, &(_, t)) in &live {
+                if t != 0 {
+                    prop_assert_eq!(mem.read_word(base).unwrap(), t);
+                }
+            }
+        }
+        // Interior-pointer resolution for all live objects.
+        for (&base, &(size, _)) in &live {
+            let probe = base + size.saturating_sub(1).min(size);
+            let (b, usable) = heap.object_of(probe).unwrap();
+            prop_assert_eq!(b, base);
+            prop_assert!(usable >= size);
+        }
+        // Freed objects never resolve.
+        let bases: Vec<u64> = live.keys().copied().collect();
+        for base in bases {
+            heap.free(base).unwrap();
+            prop_assert!(heap.object_of(base).is_none());
+            prop_assert_eq!(heap.free(base), Err(AllocError::DoubleFree(base)));
+        }
+    }
+
+    /// The thread-cache path and the central path hand out the same
+    /// non-overlapping objects.
+    #[test]
+    fn cache_path_equivalence(sizes in proptest::collection::vec(1u64..9000, 1..100)) {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        let mut tc = ThreadCache::new(Arc::clone(&heap));
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let a = if i % 2 == 0 { tc.malloc(s).unwrap() } else { heap.malloc(s).unwrap() };
+            ranges.push((a.base, a.base + a.stride));
+        }
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Static analyses backing the instrumentation pass: CFG, dominators,
+//! natural loops, and the transitive may-call-`free` property.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BlockId, Function, Inst, Program, Reg, Term};
+
+/// Control-flow graph facts for one function.
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut add = |t: BlockId| {
+                succs[bi].push(t);
+                preds[t.0 as usize].push(BlockId(bi as u32));
+            };
+            match &b.term {
+                Term::Jump(t) => add(*t),
+                Term::Branch {
+                    then_to, else_to, ..
+                } => {
+                    add(*then_to);
+                    if then_to != else_to {
+                        add(*else_to);
+                    }
+                }
+                Term::Ret(_) => {}
+            }
+        }
+        Cfg { succs, preds }
+    }
+}
+
+/// Immediate-dominator tree, computed with the classic iterative
+/// algorithm (Cooper, Harvey, Kennedy) over a reverse postorder.
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of block `b` (entry maps to itself).
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `f` given its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Dominators {
+        let n = f.blocks.len();
+        // Reverse postorder from the entry.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack = vec![(0usize, 0usize)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < cfg.succs[b].len() {
+                let s = cfg.succs[b][*next].0 as usize;
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now reverse postorder, entry first
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[0] = Some(0);
+        let intersect =
+            |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+                while a != b {
+                    while rpo_index[a] > rpo_index[b] {
+                        a = idom[a].expect("processed");
+                    }
+                    while rpo_index[b] > rpo_index[a] {
+                        b = idom[b].expect("processed");
+                    }
+                }
+                a
+            };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for p in &cfg.preds[b] {
+                    let p = p.0 as usize;
+                    if idom[p].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if new_idom != idom[b] && new_idom.is_some() {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators {
+            idom: idom
+                .into_iter()
+                .map(|o| o.map(|i| BlockId(i as u32)))
+                .collect(),
+        }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return cur == a,
+            }
+        }
+    }
+}
+
+/// A natural loop: header plus body blocks (header included).
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// The unique predecessor of the header outside the loop, if any
+    /// (where hoisted registrations go).
+    pub preheader: Option<BlockId>,
+}
+
+/// Finds all natural loops of `f` (one per back edge; loops sharing a
+/// header are merged).
+pub fn natural_loops(f: &Function, cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut by_header: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    for (bi, succs) in cfg.succs.iter().enumerate() {
+        let b = BlockId(bi as u32);
+        for &s in succs {
+            if dom.idom[bi].is_some() && dom.dominates(s, b) {
+                // Back edge b -> s; collect the loop body. Unreachable
+                // predecessors are excluded — they are not part of any
+                // execution and would break the header-dominates-body
+                // invariant.
+                let body = by_header.entry(s).or_default();
+                body.insert(s);
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if dom.idom[x.0 as usize].is_none() {
+                        continue;
+                    }
+                    if body.insert(x) {
+                        for p in &cfg.preds[x.0 as usize] {
+                            stack.push(*p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = f;
+    by_header
+        .into_iter()
+        .map(|(header, blocks)| {
+            let outside: Vec<BlockId> = cfg.preds[header.0 as usize]
+                .iter()
+                .copied()
+                .filter(|p| !blocks.contains(p))
+                .collect();
+            let preheader = match outside.as_slice() {
+                [single] => Some(*single),
+                _ => None,
+            };
+            NaturalLoop {
+                header,
+                blocks,
+                preheader,
+            }
+        })
+        .collect()
+}
+
+/// Transitive "may call free/realloc" per function (paper §6: loop
+/// hoisting is legal only when the loop body cannot free).
+pub fn may_free(prog: &Program) -> Vec<bool> {
+    let n = prog.funcs.len();
+    let mut direct = vec![false; n];
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::Free { .. } | Inst::Realloc { .. } => direct[fi] = true,
+                    Inst::Call { func, .. } => calls[fi].push(func.0 as usize),
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Propagate to fixpoint over the call graph.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fi in 0..n {
+            if direct[fi] {
+                continue;
+            }
+            if calls[fi].iter().any(|&c| direct[c]) {
+                direct[fi] = true;
+                changed = true;
+            }
+        }
+    }
+    direct
+}
+
+/// All registers redefined anywhere inside `blocks` of `f`.
+pub fn defs_in_blocks(f: &Function, blocks: &HashSet<BlockId>) -> HashSet<Reg> {
+    let mut out = HashSet::new();
+    for b in blocks {
+        for i in &f.blocks[b.0 as usize].insts {
+            if let Some(d) = i.def() {
+                out.insert(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{BinOp, Operand};
+
+    /// entry -> header -> {body -> header, exit}
+    fn loopy() -> Function {
+        let mut fb = FunctionBuilder::new("loopy", 0);
+        let i = fb.iconst(0);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(10));
+        fb.branch(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.succs[2], vec![BlockId(1)]);
+        assert!(cfg.succs[3].is_empty());
+        assert_eq!(cfg.preds[1].len(), 2);
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_detection_finds_header_and_preheader() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let loops = natural_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.blocks.contains(&BlockId(2)));
+        assert!(!l.blocks.contains(&BlockId(0)));
+        assert!(!l.blocks.contains(&BlockId(3)));
+        assert_eq!(l.preheader, Some(BlockId(0)));
+    }
+
+    #[test]
+    fn may_free_propagates_through_calls() {
+        use crate::ir::{FuncId, Program};
+        // f0 frees; f1 calls f0; f2 calls f1; f3 is clean.
+        let mut f0 = FunctionBuilder::new("f0", 1);
+        let p = f0.param_ty(0, crate::ir::Ty::Ptr);
+        f0.free(p);
+        f0.ret(None);
+        let mut f1 = FunctionBuilder::new("f1", 0);
+        let q = f1.malloc(Operand::Imm(8));
+        f1.call_void(FuncId(0), vec![Operand::Reg(q)]);
+        f1.ret(None);
+        let mut f2 = FunctionBuilder::new("f2", 0);
+        f2.call_void(FuncId(1), vec![]);
+        f2.ret(None);
+        let mut f3 = FunctionBuilder::new("f3", 0);
+        f3.ret(None);
+        let prog = Program {
+            funcs: vec![f0.finish(), f1.finish(), f2.finish(), f3.finish()],
+        };
+        assert_eq!(may_free(&prog), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn defs_in_loop_blocks() {
+        let f = loopy();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let loops = natural_loops(&f, &cfg, &dom);
+        let defs = defs_in_blocks(&f, &loops[0].blocks);
+        // The induction variable (r0) is redefined in the body; the
+        // condition register too.
+        assert!(defs.contains(&Reg(0)));
+    }
+}

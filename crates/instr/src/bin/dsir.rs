@@ -1,0 +1,134 @@
+//! `dsir` — run a mini-IR program under DangSan.
+//!
+//! ```sh
+//! cargo run -p dangsan-instr --bin dsir -- path/to/program.dsir [options]
+//! ```
+//!
+//! Options:
+//! * `--naive`      use naive instrumentation (default: optimized)
+//! * `--baseline`   run without a detector (see the bug happen)
+//! * `--dump`       print the instrumented program and exit
+//! * `--stats`      print detector statistics after the run
+//!
+//! Exit codes: 0 = program returned normally, 1 = use-after-free
+//! detected, 2 = allocator abort (double free / invalid pointer),
+//! 3 = other trap, 4 = usage/parse error.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dangsan::{Config, DangSan, Detector, HookedHeap, NullDetector};
+use dangsan_heap::Heap;
+use dangsan_instr::interp::Trap;
+use dangsan_instr::text::{parse_program, print_program};
+use dangsan_instr::{instrument, Machine, PassOptions};
+use dangsan_vmem::AddressSpace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut naive = false;
+    let mut baseline = false;
+    let mut dump = false;
+    let mut stats = false;
+    for a in &args {
+        match a.as_str() {
+            "--naive" => naive = true,
+            "--baseline" => baseline = true,
+            "--dump" => dump = true,
+            "--stats" => stats = true,
+            other if !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: dsir <program.dsir> [--naive] [--baseline] [--dump] [--stats]");
+        return ExitCode::from(4);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::from(4);
+        }
+    };
+    if let Err(e) = prog.validate() {
+        eprintln!("{path}: invalid program: {e}");
+        return ExitCode::from(4);
+    }
+    let opts = if naive {
+        PassOptions::naive()
+    } else {
+        PassOptions::optimized()
+    };
+    let (instrumented, report) = instrument(&prog, opts);
+    if dump {
+        print!("{}", print_program(&instrumented));
+        eprintln!(
+            "// pass: {} pointer stores, {} inline, {} hoisted, {} elided",
+            report.pointer_stores, report.inline_registrations, report.hoisted, report.elided
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(main_fn) = instrumented.func_by_name("main") else {
+        eprintln!("{path}: no `main` function");
+        return ExitCode::from(4);
+    };
+
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let detector: Arc<dyn Detector> = if baseline {
+        Arc::new(NullDetector)
+    } else {
+        DangSan::new(Arc::clone(&mem), Config::default())
+    };
+    let hh: HookedHeap<dyn Detector> = HookedHeap::new(heap, Arc::clone(&detector));
+    let mut machine = Machine::new(hh, 0);
+    let result = machine.run(&instrumented, main_fn, &[]);
+
+    if stats {
+        let s = detector.stats();
+        eprintln!(
+            "stats: objs={} ptrs={} dup={} inval={} stale={} hashtables={} meta={}B",
+            s.objects_allocated,
+            s.ptrs_registered,
+            s.dup_ptrs,
+            s.ptrs_invalidated,
+            s.stale_ptrs,
+            s.hashtables,
+            detector.metadata_bytes()
+        );
+    }
+    match result {
+        Ok(v) => {
+            println!("program returned {v:?}");
+            ExitCode::SUCCESS
+        }
+        Err(Trap::UseAfterFree(addr)) => {
+            println!(
+                "USE-AFTER-FREE detected: dereference of invalidated pointer {addr:#x} \
+                 (object was at {:#x})",
+                addr & !(1u64 << 63)
+            );
+            ExitCode::from(1)
+        }
+        Err(Trap::Alloc(e)) => {
+            println!("allocator abort: {e}");
+            ExitCode::from(2)
+        }
+        Err(other) => {
+            println!("trap: {other:?}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! The pointer-tracker instrumentation pass (paper §4.1 and §6).
+//!
+//! The naive pass inserts a `registerptr` call after every pointer-typed
+//! store. The optimized pass applies the paper's two static analyses:
+//!
+//! 1. **Loop-invariant registration hoisting.** If a store's address and
+//!    value registers are loop-invariant and nothing in the loop (including
+//!    callees) may call `free`, the registration moves to the loop
+//!    preheader: locations overwritten every iteration are registered once.
+//! 2. **Pointer-arithmetic elision.** A store that merely writes back an
+//!    incremented/decremented version of the pointer previously loaded from
+//!    the *same location* (`p = p + k` patterns) needs no registration:
+//!    the C standard forbids the result from leaving the object (and the
+//!    +1-byte allocation guard covers one-past-the-end), so the location
+//!    is already registered for the right object and only the address —
+//!    not the value — is logged anyway.
+
+use std::collections::HashSet;
+
+use crate::analysis::{defs_in_blocks, may_free, natural_loops, Cfg, Dominators};
+use crate::ir::{BlockId, Function, Inst, Operand, Program, Reg};
+
+/// Which optimizations to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassOptions {
+    /// Hoist loop-invariant registrations to preheaders.
+    pub hoist_loop_invariant: bool,
+    /// Elide registrations of pointer-arithmetic write-backs.
+    pub elide_gep_stores: bool,
+}
+
+impl PassOptions {
+    /// No optimizations: one `registerptr` per pointer store.
+    pub fn naive() -> PassOptions {
+        PassOptions {
+            hoist_loop_invariant: false,
+            elide_gep_stores: false,
+        }
+    }
+
+    /// All §6 optimizations on.
+    pub fn optimized() -> PassOptions {
+        PassOptions {
+            hoist_loop_invariant: true,
+            elide_gep_stores: true,
+        }
+    }
+}
+
+/// Statistics the pass reports (for the ablation experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Pointer-typed stores found.
+    pub pointer_stores: usize,
+    /// `registerptr` calls inserted inline.
+    pub inline_registrations: usize,
+    /// Registrations hoisted to a preheader.
+    pub hoisted: usize,
+    /// Registrations elided entirely (pointer arithmetic).
+    pub elided: usize,
+}
+
+/// Runs the pointer-tracker pass over a whole program, inserting
+/// [`Inst::RegisterPtr`] instructions.
+///
+/// The input must not already contain `RegisterPtr` instructions.
+pub fn instrument(prog: &Program, opts: PassOptions) -> (Program, PassReport) {
+    let mut out = prog.clone();
+    let mut report = PassReport::default();
+    let mf = may_free(prog);
+    for (fi, f) in out.funcs.iter_mut().enumerate() {
+        instrument_function(f, &mf, fi, opts, &mut report, prog);
+    }
+    (out, report)
+}
+
+fn value_reg(f: &Function, value: &Operand) -> Option<Reg> {
+    match value {
+        Operand::Reg(r) if f.reg_types[r.0 as usize] == crate::ir::Ty::Ptr => Some(*r),
+        _ => None,
+    }
+}
+
+fn instrument_function(
+    f: &mut Function,
+    may_free: &[bool],
+    _fi: usize,
+    opts: PassOptions,
+    report: &mut PassReport,
+    prog: &Program,
+) {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::compute(f, &cfg);
+    let loops = natural_loops(f, &cfg, &dom);
+
+    // Per-block: the set of instruction indices whose registration is
+    // hoisted (skip inline insertion) and the hoists per preheader.
+    let mut skip: HashSet<(usize, usize)> = HashSet::new();
+    let mut hoists: Vec<(BlockId, Inst)> = Vec::new();
+
+    if opts.hoist_loop_invariant {
+        for l in &loops {
+            let Some(preheader) = l.preheader else {
+                continue;
+            };
+            // The loop must not free, directly or transitively.
+            let mut frees = false;
+            for b in &l.blocks {
+                for i in &f.blocks[b.0 as usize].insts {
+                    match i {
+                        Inst::Free { .. } | Inst::Realloc { .. } => frees = true,
+                        Inst::Call { func, .. } => {
+                            if may_free[func.0 as usize] {
+                                frees = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if frees {
+                continue;
+            }
+            let redefined = defs_in_blocks(f, &l.blocks);
+            // A register is loop-invariant here if it is never redefined
+            // inside the loop and its (unique) definition dominates the
+            // preheader — i.e. the value is available there.
+            let defined_before = |r: Reg| -> bool {
+                if r.0 < f.params {
+                    return true;
+                }
+                let mut def_blocks = Vec::new();
+                for (bi, b) in f.blocks.iter().enumerate() {
+                    if b.insts.iter().any(|i| i.def() == Some(r)) {
+                        def_blocks.push(BlockId(bi as u32));
+                    }
+                }
+                def_blocks.len() == 1
+                    && (def_blocks[0] == preheader || dom.dominates(def_blocks[0], preheader))
+            };
+            for b in &l.blocks {
+                for (ii, inst) in f.blocks[b.0 as usize].insts.iter().enumerate() {
+                    if let Inst::Store {
+                        addr,
+                        offset,
+                        value,
+                    } = inst
+                    {
+                        let Some(v) = value_reg(f, value) else {
+                            continue;
+                        };
+                        if !redefined.contains(addr)
+                            && !redefined.contains(&v)
+                            && defined_before(*addr)
+                            && defined_before(v)
+                        {
+                            skip.insert((b.0 as usize, ii));
+                            hoists.push((
+                                preheader,
+                                Inst::RegisterPtr {
+                                    addr: *addr,
+                                    offset: *offset,
+                                    value: v,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut new_insts = Vec::with_capacity(block.insts.len());
+        // For gep-elision: within this block, track which register was
+        // defined by `Gep` of a register loaded from which (addr, offset).
+        // Reset on anything that may free (calls/frees) for safety.
+        let mut loaded_from: Vec<(Reg, Reg, i64)> = Vec::new(); // (dst, addr, off)
+        let mut gep_of: Vec<(Reg, Reg)> = Vec::new(); // (dst, base)
+        for (ii, inst) in block.insts.iter().enumerate() {
+            let mut register: Option<Inst> = None;
+            match inst {
+                Inst::Store {
+                    addr,
+                    offset,
+                    value,
+                } => {
+                    if let Some(v) = value_reg_raw(&f.reg_types, value) {
+                        report.pointer_stores += 1;
+                        if skip.contains(&(bi, ii)) {
+                            report.hoisted += 1;
+                        } else if opts.elide_gep_stores
+                            && is_gep_writeback(&loaded_from, &gep_of, *addr, *offset, v)
+                        {
+                            report.elided += 1;
+                        } else {
+                            report.inline_registrations += 1;
+                            register = Some(Inst::RegisterPtr {
+                                addr: *addr,
+                                offset: *offset,
+                                value: v,
+                            });
+                        }
+                        // The store redefines the location's provenance.
+                        loaded_from.retain(|(_, a, o)| !(*a == *addr && *o == *offset));
+                    }
+                }
+                Inst::Load { dst, addr, offset } => {
+                    loaded_from.retain(|(d, _, _)| d != dst);
+                    gep_of.retain(|(d, _)| d != dst);
+                    if f.reg_types[dst.0 as usize] == crate::ir::Ty::Ptr {
+                        loaded_from.push((*dst, *addr, *offset));
+                    }
+                }
+                Inst::Gep { dst, base, .. } => {
+                    loaded_from.retain(|(d, _, _)| d != dst);
+                    gep_of.retain(|(d, _)| d != dst);
+                    gep_of.push((*dst, *base));
+                }
+                Inst::Free { .. } | Inst::Realloc { .. } | Inst::Call { .. } => {
+                    // Conservatively forget provenance: a free may end the
+                    // pointee's lifetime between the load and the store.
+                    loaded_from.clear();
+                    gep_of.clear();
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        loaded_from.retain(|(x, _, _)| *x != d);
+                        gep_of.retain(|(x, _)| *x != d);
+                    }
+                }
+            }
+            new_insts.push(inst.clone());
+            if let Some(r) = register {
+                new_insts.push(r);
+            }
+        }
+        block.insts = new_insts;
+    }
+
+    // Insert hoisted registrations at the end of their preheaders.
+    for (pre, inst) in hoists {
+        f.blocks[pre.0 as usize].insts.push(inst);
+    }
+    let _ = prog;
+}
+
+fn value_reg_raw(reg_types: &[crate::ir::Ty], value: &Operand) -> Option<Reg> {
+    match value {
+        Operand::Reg(r) if reg_types[r.0 as usize] == crate::ir::Ty::Ptr => Some(*r),
+        _ => None,
+    }
+}
+
+/// Does `store (addr, off) <- v` merely write back pointer arithmetic on
+/// the value previously loaded from the same location?
+fn is_gep_writeback(
+    loaded_from: &[(Reg, Reg, i64)],
+    gep_of: &[(Reg, Reg)],
+    addr: Reg,
+    offset: i64,
+    v: Reg,
+) -> bool {
+    // v = gep(base, _) where base was loaded from (addr, offset), or v
+    // itself was loaded from (addr, offset) (a no-op store).
+    let loaded_here = |r: Reg| {
+        loaded_from
+            .iter()
+            .any(|(d, a, o)| *d == r && *a == addr && *o == offset)
+    };
+    if loaded_here(v) {
+        return true;
+    }
+    gep_of.iter().any(|(d, base)| *d == v && loaded_here(*base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{BinOp, Operand, Ty};
+
+    fn single(prog: Function) -> Program {
+        Program { funcs: vec![prog] }
+    }
+
+    #[test]
+    fn naive_instruments_every_pointer_store() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let p = fb.malloc(Operand::Imm(32));
+        let q = fb.malloc(Operand::Imm(32));
+        fb.store_ptr(p, 0, q);
+        fb.store_ptr(p, 8, q);
+        fb.store_i64(p, 16, Operand::Imm(7)); // not pointer-typed
+        fb.ret(None);
+        let (out, rep) = instrument(&single(fb.finish()), PassOptions::naive());
+        assert_eq!(rep.pointer_stores, 2);
+        assert_eq!(rep.inline_registrations, 2);
+        assert_eq!(out.register_ptr_count(), 2);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn loop_invariant_store_is_hoisted() {
+        // while (i < 10) { *slot = q; i++ }  — no free in loop.
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(8));
+        let q = fb.malloc(Operand::Imm(8));
+        let i = fb.iconst(0);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(10));
+        fb.branch(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        fb.store_ptr(slot, 0, q);
+        fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let (out, rep) = instrument(&single(fb.finish()), PassOptions::optimized());
+        assert_eq!(rep.pointer_stores, 1);
+        assert_eq!(rep.hoisted, 1);
+        assert_eq!(rep.inline_registrations, 0);
+        assert_eq!(out.register_ptr_count(), 1);
+        // The registration lives in the preheader (block 0).
+        assert!(out.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::RegisterPtr { .. })));
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn store_in_freeing_loop_is_not_hoisted() {
+        // The loop body frees an object, so hoisting would be unsound.
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(8));
+        let q = fb.malloc(Operand::Imm(8));
+        let i = fb.iconst(0);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(4));
+        fb.branch(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        fb.store_ptr(slot, 0, q);
+        let tmp = fb.malloc(Operand::Imm(8));
+        fb.free(tmp);
+        fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let (_, rep) = instrument(&single(fb.finish()), PassOptions::optimized());
+        assert_eq!(rep.hoisted, 0);
+        assert_eq!(rep.inline_registrations, 1);
+    }
+
+    #[test]
+    fn transitive_free_blocks_hoisting() {
+        // The loop calls a helper that calls free.
+        let mut helper = FunctionBuilder::new("helper", 1);
+        let hp = helper.param_ty(0, Ty::Ptr);
+        helper.free(hp);
+        helper.ret(None);
+        let mut middle = FunctionBuilder::new("middle", 1);
+        let mp = middle.param_ty(0, Ty::Ptr);
+        middle.call_void(crate::ir::FuncId(0), vec![Operand::Reg(mp)]);
+        middle.ret(None);
+
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(8));
+        let q = fb.malloc(Operand::Imm(8));
+        let i = fb.iconst(0);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(4));
+        fb.branch(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        fb.store_ptr(slot, 0, q);
+        let tmp = fb.malloc(Operand::Imm(8));
+        fb.call_void(crate::ir::FuncId(1), vec![Operand::Reg(tmp)]);
+        fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+
+        let prog = Program {
+            funcs: vec![helper.finish(), middle.finish(), fb.finish()],
+        };
+        let (_, rep) = instrument(&prog, PassOptions::optimized());
+        assert_eq!(rep.hoisted, 0, "transitive free must block hoisting");
+    }
+
+    #[test]
+    fn pointer_increment_writeback_is_elided() {
+        // p = load slot; p2 = p + 8; store slot, p2  — classic iterator
+        // advance; the location is already registered.
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(8));
+        let obj = fb.malloc(Operand::Imm(64));
+        fb.store_ptr(slot, 0, obj); // registered normally
+        let p = fb.load_ptr(slot, 0);
+        let p2 = fb.gep(p, Operand::Imm(8));
+        fb.store_ptr(slot, 0, p2); // elided
+        fb.ret(None);
+        let (out, rep) = instrument(&single(fb.finish()), PassOptions::optimized());
+        assert_eq!(rep.pointer_stores, 2);
+        assert_eq!(rep.elided, 1);
+        assert_eq!(rep.inline_registrations, 1);
+        assert_eq!(out.register_ptr_count(), 1);
+    }
+
+    #[test]
+    fn intervening_free_blocks_gep_elision() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(8));
+        let obj = fb.malloc(Operand::Imm(64));
+        fb.store_ptr(slot, 0, obj);
+        let p = fb.load_ptr(slot, 0);
+        let p2 = fb.gep(p, Operand::Imm(8));
+        let tmp = fb.malloc(Operand::Imm(8));
+        fb.free(tmp); // provenance must be forgotten here
+        fb.store_ptr(slot, 0, p2);
+        fb.ret(None);
+        let (_, rep) = instrument(&single(fb.finish()), PassOptions::optimized());
+        assert_eq!(rep.elided, 0);
+        assert_eq!(rep.inline_registrations, 2);
+    }
+
+    #[test]
+    fn writeback_to_different_slot_is_not_elided() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let slot = fb.malloc(Operand::Imm(16));
+        let obj = fb.malloc(Operand::Imm(64));
+        fb.store_ptr(slot, 0, obj);
+        let p = fb.load_ptr(slot, 0);
+        let p2 = fb.gep(p, Operand::Imm(8));
+        fb.store_ptr(slot, 8, p2); // different offset: must register
+        fb.ret(None);
+        let (_, rep) = instrument(&single(fb.finish()), PassOptions::optimized());
+        assert_eq!(rep.elided, 0);
+        assert_eq!(rep.inline_registrations, 2);
+    }
+}

@@ -1,0 +1,479 @@
+//! IR interpreter running instrumented programs against a detector.
+//!
+//! This is the stand-in for executing the compiled, instrumented binary:
+//! `Malloc`/`Free`/`Realloc` go through the hooked heap, `RegisterPtr`
+//! drives the detector, and memory accesses go through the simulated
+//! address space — so an invalidated pointer dereference surfaces as a
+//! [`Trap::UseAfterFree`], exactly like the SIGSEGV the paper's protected
+//! programs die with.
+
+use std::sync::Arc;
+
+use dangsan::{Detector, HookedHeap};
+use dangsan_heap::AllocError;
+use dangsan_vmem::{Addr, BumpSegment, FaultKind, MemFault};
+
+use crate::ir::{BinOp, Block, FuncId, Inst, Operand, Program, Term};
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// A dereference of an invalidated (dangling) pointer: the detection
+    /// event. Carries the faulting (non-canonical) address.
+    UseAfterFree(Addr),
+    /// A memory fault that is not an invalidated pointer (wild access).
+    Fault(MemFault),
+    /// The allocator rejected an operation (double free, invalid pointer —
+    /// the "Attempt to free invalid pointer" abort from §8.1).
+    Alloc(AllocError),
+    /// The step budget ran out (runaway program).
+    OutOfFuel,
+    /// Structural problem (should be prevented by `Program::validate`).
+    BadProgram(String),
+}
+
+impl From<MemFault> for Trap {
+    fn from(f: MemFault) -> Trap {
+        if f.kind == FaultKind::NonCanonical {
+            Trap::UseAfterFree(f.addr)
+        } else {
+            Trap::Fault(f)
+        }
+    }
+}
+
+impl From<AllocError> for Trap {
+    fn from(e: AllocError) -> Trap {
+        Trap::Alloc(e)
+    }
+}
+
+/// The machine a program runs on: hooked heap + a simulated stack.
+pub struct Machine<D: Detector + ?Sized> {
+    hh: HookedHeap<D>,
+    stack: BumpSegment,
+    fuel: u64,
+}
+
+/// Default step budget.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+impl<D: Detector + ?Sized> Machine<D> {
+    /// Creates a machine with an 8 MiB stack at the given stack base slot.
+    ///
+    /// `stack_slot` lets concurrent machines coexist in one address space
+    /// (each takes a disjoint stack region).
+    pub fn new(hh: HookedHeap<D>, stack_slot: u64) -> Machine<D> {
+        let base = dangsan_vmem::STACKS_BASE + stack_slot * (8 << 20);
+        let stack =
+            BumpSegment::map(Arc::clone(hh.mem()), base, 8 << 20).expect("stack region free");
+        Machine {
+            hh,
+            stack,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the step budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The hooked heap this machine allocates from.
+    pub fn hooked(&self) -> &HookedHeap<D> {
+        &self.hh
+    }
+
+    /// Runs `func` with integer arguments, returning its return value.
+    pub fn run(&mut self, prog: &Program, func: FuncId, args: &[u64]) -> Result<Option<u64>, Trap> {
+        let mut fuel = self.fuel;
+        self.call(prog, func, args, &mut fuel, 0)
+    }
+
+    fn call(
+        &mut self,
+        prog: &Program,
+        func: FuncId,
+        args: &[u64],
+        fuel: &mut u64,
+        depth: u32,
+    ) -> Result<Option<u64>, Trap> {
+        if depth > 256 {
+            return Err(Trap::BadProgram("call depth exceeded".into()));
+        }
+        let f = prog
+            .funcs
+            .get(func.0 as usize)
+            .ok_or_else(|| Trap::BadProgram(format!("no function {func:?}")))?;
+        if args.len() as u32 != f.params {
+            return Err(Trap::BadProgram(format!(
+                "arity mismatch calling {}",
+                f.name
+            )));
+        }
+        let mut regs = vec![0u64; f.reg_types.len()];
+        regs[..args.len()].copy_from_slice(args);
+        let frame_mark = self.stack.top();
+
+        let mut block = 0usize;
+        let result = loop {
+            let b: &Block = &f.blocks[block];
+            for inst in &b.insts {
+                if *fuel == 0 {
+                    self.stack.pop_to(frame_mark);
+                    return Err(Trap::OutOfFuel);
+                }
+                *fuel -= 1;
+                self.exec_inst(prog, f, inst, &mut regs, fuel, depth)?;
+            }
+            match &b.term {
+                Term::Jump(t) => block = t.0 as usize,
+                Term::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
+                    let c = self.operand(cond, &regs);
+                    block = if c != 0 { then_to.0 } else { else_to.0 } as usize;
+                }
+                Term::Ret(v) => {
+                    break v.as_ref().map(|op| self.operand(op, &regs));
+                }
+            }
+        };
+        self.stack.pop_to(frame_mark);
+        Ok(result)
+    }
+
+    fn operand(&self, op: &Operand, regs: &[u64]) -> u64 {
+        match op {
+            Operand::Reg(r) => regs[r.0 as usize],
+            Operand::Imm(v) => *v as u64,
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        prog: &Program,
+        f: &crate::ir::Function,
+        inst: &Inst,
+        regs: &mut [u64],
+        fuel: &mut u64,
+        depth: u32,
+    ) -> Result<(), Trap> {
+        match inst {
+            Inst::Const { dst, value } => regs[dst.0 as usize] = *value as u64,
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let a = self.operand(lhs, regs);
+                let b = self.operand(rhs, regs);
+                regs[dst.0 as usize] = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Lt => (a < b) as u64,
+                    BinOp::Le => (a <= b) as u64,
+                    BinOp::Eq => (a == b) as u64,
+                    BinOp::Ne => (a != b) as u64,
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                };
+            }
+            Inst::Malloc { dst, size } => {
+                let size = self.operand(size, regs);
+                let a = self.hh.malloc(size)?;
+                regs[dst.0 as usize] = a.base;
+            }
+            Inst::Free { ptr } => {
+                let p = regs[ptr.0 as usize];
+                self.hh.free(p)?;
+            }
+            Inst::Realloc { dst, ptr, size } => {
+                let p = regs[ptr.0 as usize];
+                let size = self.operand(size, regs);
+                let (a, _) = self.hh.realloc(p, size)?;
+                regs[dst.0 as usize] = a.base;
+            }
+            Inst::Load { dst, addr, offset } => {
+                let a = regs[addr.0 as usize].wrapping_add(*offset as u64);
+                regs[dst.0 as usize] = self.hh.load(a)?;
+            }
+            Inst::Store {
+                addr,
+                offset,
+                value,
+            } => {
+                let a = regs[addr.0 as usize].wrapping_add(*offset as u64);
+                let v = self.operand(value, regs);
+                // The raw store; instrumentation is a separate RegisterPtr.
+                self.hh.store_untracked(a, v)?;
+            }
+            Inst::Gep { dst, base, offset } => {
+                let b = regs[base.0 as usize];
+                let o = self.operand(offset, regs);
+                regs[dst.0 as usize] = b.wrapping_add(o);
+            }
+            Inst::Call { dst, func, args } => {
+                let vals: Vec<u64> = args.iter().map(|a| self.operand(a, regs)).collect();
+                let r = self.call(prog, *func, &vals, fuel, depth + 1)?;
+                if let Some(d) = dst {
+                    regs[d.0 as usize] = r.unwrap_or(0);
+                }
+            }
+            Inst::StackAlloc { dst, size } => {
+                let a = self
+                    .stack
+                    .alloc(*size)
+                    .ok_or_else(|| Trap::BadProgram("stack overflow".into()))?;
+                regs[dst.0 as usize] = a;
+            }
+            Inst::RegisterPtr {
+                addr,
+                offset,
+                value,
+            } => {
+                let loc = regs[addr.0 as usize].wrapping_add(*offset as u64);
+                let v = regs[value.0 as usize];
+                self.hh.detector().register_ptr(loc, v);
+            }
+        }
+        let _ = f;
+        Ok(())
+    }
+}
+
+/// Convenience: type check, instrument, run `main`, and return the trap
+/// (if any) together with the pass report.
+pub fn run_instrumented<D: Detector + ?Sized>(
+    prog: &Program,
+    opts: crate::instrument::PassOptions,
+    hh: HookedHeap<D>,
+) -> (Result<Option<u64>, Trap>, crate::instrument::PassReport) {
+    let (instrumented, report) = crate::instrument::instrument(prog, opts);
+    instrumented.validate().expect("instrumented program valid");
+    let main = instrumented
+        .func_by_name("main")
+        .expect("program has a main");
+    let mut m = Machine::new(hh, 0);
+    (m.run(&instrumented, main, &[]), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instrument::PassOptions;
+    use crate::ir::Program;
+    use dangsan::{Config, DangSan, NullDetector};
+    use dangsan_heap::Heap;
+    use dangsan_vmem::AddressSpace;
+
+    fn dangsan_hh() -> HookedHeap<DangSan> {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        let det = DangSan::new(Arc::clone(&mem), Config::default());
+        HookedHeap::new(heap, det)
+    }
+
+    fn null_hh() -> HookedHeap<NullDetector> {
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        HookedHeap::new(heap, Arc::new(NullDetector))
+    }
+
+    /// main: obj = malloc; holder = malloc; *holder = obj; free(obj);
+    /// x = *holder; return *x  → use-after-free read.
+    fn uaf_program() -> Program {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(32));
+        fb.store_i64(obj, 0, Operand::Imm(1234));
+        let holder = fb.malloc(Operand::Imm(8));
+        fb.store_ptr(holder, 0, obj);
+        fb.free(obj);
+        let x = fb.load_ptr(holder, 0);
+        let v = fb.load_i64(x, 0);
+        fb.ret(Some(Operand::Reg(v)));
+        Program {
+            funcs: vec![fb.finish()],
+        }
+    }
+
+    use crate::ir::Operand;
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        // Compute sum 0..10 with a loop.
+        let mut fb = FunctionBuilder::new("main", 0);
+        let sum = fb.iconst(0);
+        let i = fb.iconst(0);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.bin(crate::ir::BinOp::Lt, Operand::Reg(i), Operand::Imm(10));
+        fb.branch(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        fb.bin_into(
+            sum,
+            crate::ir::BinOp::Add,
+            Operand::Reg(sum),
+            Operand::Reg(i),
+        );
+        fb.bin_into(i, crate::ir::BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::Reg(sum)));
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), null_hh());
+        assert_eq!(r.unwrap(), Some(45));
+    }
+
+    #[test]
+    fn uaf_runs_silently_without_protection() {
+        let (r, _) = run_instrumented(&uaf_program(), PassOptions::naive(), null_hh());
+        // The unprotected program reads reused/freed memory "successfully".
+        assert!(r.is_ok(), "baseline run does not trap: {r:?}");
+    }
+
+    #[test]
+    fn uaf_traps_with_dangsan() {
+        let (r, _) = run_instrumented(&uaf_program(), PassOptions::naive(), dangsan_hh());
+        match r {
+            Err(Trap::UseAfterFree(addr)) => {
+                assert_ne!(addr & (1 << 63), 0, "non-canonical fault address");
+            }
+            other => panic!("expected use-after-free trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uaf_traps_with_optimized_instrumentation_too() {
+        let (r, rep) = run_instrumented(&uaf_program(), PassOptions::optimized(), dangsan_hh());
+        assert!(matches!(r, Err(Trap::UseAfterFree(_))), "{r:?}");
+        assert_eq!(rep.pointer_stores, 1);
+    }
+
+    #[test]
+    fn double_free_is_caught_by_allocator() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(32));
+        fb.free(obj);
+        fb.free(obj);
+        fb.ret(None);
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), dangsan_hh());
+        assert!(matches!(r, Err(Trap::Alloc(AllocError::DoubleFree(_)))));
+    }
+
+    #[test]
+    fn free_through_dangling_pointer_is_invalid_pointer() {
+        // holder = &obj; free(obj); free(*holder) → DangSan has set the
+        // MSB, the allocator reports "Attempt to free invalid pointer".
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(32));
+        let holder = fb.malloc(Operand::Imm(8));
+        fb.store_ptr(holder, 0, obj);
+        fb.free(obj);
+        let x = fb.load_ptr(holder, 0);
+        fb.free(x);
+        fb.ret(None);
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), dangsan_hh());
+        assert!(
+            matches!(r, Err(Trap::Alloc(AllocError::InvalidPointer(_)))),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn stack_locations_and_frames() {
+        // callee stores a pointer into its own stack frame, returns; the
+        // frame is popped (zeroed) so the free finds a stale location.
+        let mut callee = FunctionBuilder::new("callee", 1);
+        let obj = callee.param_ty(0, Ty::Ptr);
+        let slot = callee.alloca(8);
+        callee.store_ptr(slot, 0, obj);
+        callee.ret(None);
+
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(16));
+        fb.call_void(FuncId(0), vec![Operand::Reg(obj)]);
+        fb.free(obj);
+        fb.ret(Some(Operand::Imm(0)));
+        let prog = Program {
+            funcs: vec![callee.finish(), fb.finish()],
+        };
+        let hh = dangsan_hh();
+        let det = Arc::clone(hh.detector());
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), hh);
+        assert!(r.is_ok());
+        let s = det.stats();
+        assert_eq!(s.ptrs_registered, 1);
+        assert_eq!(s.stale_ptrs, 1, "popped frame left a stale location");
+    }
+
+    #[test]
+    fn functions_receive_arguments() {
+        // main(a, b) -> a * 10 + b, invoked with explicit arguments.
+        let mut fb = FunctionBuilder::new("main", 2);
+        let a = crate::ir::Reg(0);
+        let b = crate::ir::Reg(1);
+        let t = fb.bin(crate::ir::BinOp::Mul, Operand::Reg(a), Operand::Imm(10));
+        let r = fb.bin(crate::ir::BinOp::Add, Operand::Reg(t), Operand::Reg(b));
+        fb.ret(Some(Operand::Reg(r)));
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let mut m = Machine::new(null_hh(), 0);
+        let main = prog.func_by_name("main").unwrap();
+        assert_eq!(m.run(&prog, main, &[4, 2]), Ok(Some(42)));
+        // Arity mismatches are structural errors, not UB.
+        assert!(matches!(
+            m.run(&prog, main, &[1]),
+            Err(Trap::BadProgram(_))
+        ));
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let header = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let _ = fb.iconst(1);
+        fb.jump(header);
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (instrumented, _) = crate::instrument::instrument(&prog, PassOptions::naive());
+        let mut m = Machine::new(null_hh(), 0);
+        m.set_fuel(10_000);
+        let main = instrumented.func_by_name("main").unwrap();
+        assert_eq!(m.run(&instrumented, main, &[]), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn realloc_in_ir_moves_data() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(16));
+        fb.store_i64(obj, 0, Operand::Imm(77));
+        let bigger = fb.realloc(obj, Operand::Imm(10_000));
+        let v = fb.load_i64(bigger, 0);
+        fb.free(bigger);
+        fb.ret(Some(Operand::Reg(v)));
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), dangsan_hh());
+        assert_eq!(r.unwrap(), Some(77));
+    }
+
+    use crate::ir::{FuncId, Ty};
+}

@@ -1,0 +1,505 @@
+//! The miniature typed IR the pointer-tracker pass operates on.
+//!
+//! The paper's pointer tracker is an LLVM pass: it scans bitcode for
+//! pointer-typed store instructions and inserts `registerptr` calls,
+//! eliding or hoisting them using static analysis (§4.1, §6). This module
+//! defines an IR with exactly the features those analyses care about:
+//! typed virtual registers (`i64` vs `ptr`), loads/stores with constant
+//! offsets, GEP-style pointer arithmetic, calls, heap operations and a
+//! block-structured CFG.
+//!
+//! The IR is register-based but *not* SSA: registers may be redefined,
+//! which is what makes the loop-invariance check in the instrumentation
+//! pass non-trivial (as in real compilers pre-mem2reg).
+
+use std::fmt;
+
+/// A value type: 64-bit integer or pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit integer.
+    I64,
+    /// Pointer into the simulated address space.
+    Ptr,
+}
+
+/// A virtual register, local to a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// A basic block id, local to a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// A function id, local to a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(i64),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned less-than (produces 0/1).
+    Lt,
+    /// Unsigned less-or-equal (produces 0/1).
+    Le,
+    /// Equality (produces 0/1).
+    Eq,
+    /// Inequality (produces 0/1).
+    Ne,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+/// An instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = malloc(size)`.
+    Malloc {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Requested size in bytes.
+        size: Operand,
+    },
+    /// `free(ptr)`.
+    Free {
+        /// Pointer register.
+        ptr: Reg,
+    },
+    /// `dst = realloc(ptr, size)`.
+    Realloc {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Old pointer.
+        ptr: Reg,
+        /// New size.
+        size: Operand,
+    },
+    /// `dst = *(addr + offset)`.
+    Load {
+        /// Destination register (its type decides pointer-ness).
+        dst: Reg,
+        /// Base address register.
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `*(addr + offset) = value`.
+    ///
+    /// A *pointer-typed store* — the instrumentation target — is a store
+    /// whose value operand is a `Ptr`-typed register.
+    Store {
+        /// Base address register.
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i64,
+        /// Stored value.
+        value: Operand,
+    },
+    /// `dst = base + offset` where `base` is a pointer (GEP-style pointer
+    /// arithmetic — never escapes its object per the C standard, §6).
+    Gep {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Base pointer register.
+        base: Reg,
+        /// Byte offset.
+        offset: Operand,
+    },
+    /// `dst = call func(args...)`.
+    Call {
+        /// Destination register for the return value, if any.
+        dst: Option<Reg>,
+        /// Callee.
+        func: FuncId,
+        /// Argument operands (must match the callee's parameter count).
+        args: Vec<Operand>,
+    },
+    /// `dst = alloca(size)` — a stack slot, released on function return.
+    StackAlloc {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Slot size in bytes.
+        size: u64,
+    },
+    /// The instrumentation hook: `registerptr(addr + offset, value)`.
+    /// Inserted by the pass, never written by hand.
+    RegisterPtr {
+        /// Base address register of the store location.
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i64,
+        /// The stored pointer register.
+        value: Reg,
+    },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when non-zero.
+        then_to: BlockId,
+        /// Target when zero.
+        else_to: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions in program order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name, for diagnostics.
+    pub name: String,
+    /// Parameter count; parameters are registers `0..params`.
+    pub params: u32,
+    /// Type of every virtual register.
+    pub reg_types: Vec<Ty>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Functions; execution starts at the one the caller names.
+    pub funcs: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Counts `RegisterPtr` instructions (instrumentation density metric).
+    pub fn register_ptr_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::RegisterPtr { .. }))
+            .count()
+    }
+
+    /// Structural validation: register indices/types, block targets and
+    /// call arities all line up. Returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fi, f) in self.funcs.iter().enumerate() {
+            let nb = f.blocks.len() as u32;
+            let nr = f.reg_types.len() as u32;
+            if f.params > nr {
+                return Err(format!("{}: more params than registers", f.name));
+            }
+            if f.blocks.is_empty() {
+                return Err(format!("{}: no blocks", f.name));
+            }
+            let check_reg = |r: Reg| -> Result<(), String> {
+                if r.0 < nr {
+                    Ok(())
+                } else {
+                    Err(format!("{}: register {:?} out of range", f.name, r))
+                }
+            };
+            let check_op = |o: &Operand| match o {
+                Operand::Reg(r) => check_reg(*r),
+                Operand::Imm(_) => Ok(()),
+            };
+            let check_blk = |b: BlockId| -> Result<(), String> {
+                if b.0 < nb {
+                    Ok(())
+                } else {
+                    Err(format!("{}: block {:?} out of range", f.name, b))
+                }
+            };
+            for blk in &f.blocks {
+                for inst in &blk.insts {
+                    match inst {
+                        Inst::Const { dst, .. } => check_reg(*dst)?,
+                        Inst::Bin { dst, lhs, rhs, .. } => {
+                            check_reg(*dst)?;
+                            check_op(lhs)?;
+                            check_op(rhs)?;
+                        }
+                        Inst::Malloc { dst, size } => {
+                            check_reg(*dst)?;
+                            check_op(size)?;
+                            if f.reg_types[dst.0 as usize] != Ty::Ptr {
+                                return Err(format!("{}: malloc into non-ptr", f.name));
+                            }
+                        }
+                        Inst::Free { ptr } => check_reg(*ptr)?,
+                        Inst::Realloc { dst, ptr, size } => {
+                            check_reg(*dst)?;
+                            check_reg(*ptr)?;
+                            check_op(size)?;
+                        }
+                        Inst::Load { dst, addr, .. } => {
+                            check_reg(*dst)?;
+                            check_reg(*addr)?;
+                            if f.reg_types[addr.0 as usize] != Ty::Ptr {
+                                return Err(format!("{}: load through non-ptr", f.name));
+                            }
+                        }
+                        Inst::Store { addr, value, .. } => {
+                            check_reg(*addr)?;
+                            check_op(value)?;
+                            if f.reg_types[addr.0 as usize] != Ty::Ptr {
+                                return Err(format!("{}: store through non-ptr", f.name));
+                            }
+                        }
+                        Inst::Gep { dst, base, offset } => {
+                            check_reg(*dst)?;
+                            check_reg(*base)?;
+                            check_op(offset)?;
+                            if f.reg_types[dst.0 as usize] != Ty::Ptr
+                                || f.reg_types[base.0 as usize] != Ty::Ptr
+                            {
+                                return Err(format!("{}: gep type error", f.name));
+                            }
+                        }
+                        Inst::Call { dst, func, args } => {
+                            if let Some(d) = dst {
+                                check_reg(*d)?;
+                            }
+                            let callee = self
+                                .funcs
+                                .get(func.0 as usize)
+                                .ok_or_else(|| format!("{}: bad callee {func:?}", f.name))?;
+                            if args.len() as u32 != callee.params {
+                                return Err(format!(
+                                    "{}: call to {} with {} args, expected {}",
+                                    f.name,
+                                    callee.name,
+                                    args.len(),
+                                    callee.params
+                                ));
+                            }
+                            for a in args {
+                                check_op(a)?;
+                            }
+                        }
+                        Inst::StackAlloc { dst, .. } => {
+                            check_reg(*dst)?;
+                            if f.reg_types[dst.0 as usize] != Ty::Ptr {
+                                return Err(format!("{}: alloca into non-ptr", f.name));
+                            }
+                        }
+                        Inst::RegisterPtr { addr, value, .. } => {
+                            check_reg(*addr)?;
+                            check_reg(*value)?;
+                        }
+                    }
+                }
+                match &blk.term {
+                    Term::Jump(t) => check_blk(*t)?,
+                    Term::Branch {
+                        cond,
+                        then_to,
+                        else_to,
+                    } => {
+                        check_op(cond)?;
+                        check_blk(*then_to)?;
+                        check_blk(*else_to)?;
+                    }
+                    Term::Ret(Some(op)) => check_op(op)?,
+                    Term::Ret(None) => {}
+                }
+            }
+            let _ = fi;
+        }
+        Ok(())
+    }
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Malloc { dst, .. }
+            | Inst::Realloc { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Gep { dst, .. }
+            | Inst::StackAlloc { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Free { .. } | Inst::Store { .. } | Inst::RegisterPtr { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "%{}", r.0),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({} params) {{", self.name, self.params)?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{bi}:")?;
+            for i in &b.insts {
+                writeln!(f, "  {i:?}")?;
+            }
+            writeln!(f, "  {:?}", b.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn validate_accepts_wellformed_program() {
+        let mut fb = FunctionBuilder::new("main", 0);
+        let p = fb.malloc(Operand::Imm(16));
+        fb.free(p);
+        fb.ret(None);
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        assert_eq!(prog.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let f = Function {
+            name: "bad".into(),
+            params: 0,
+            reg_types: vec![Ty::I64],
+            blocks: vec![Block {
+                insts: vec![Inst::Const {
+                    dst: Reg(7),
+                    value: 0,
+                }],
+                term: Term::Ret(None),
+            }],
+        };
+        let prog = Program { funcs: vec![f] };
+        assert!(prog.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_store_through_integer() {
+        let f = Function {
+            name: "bad".into(),
+            params: 0,
+            reg_types: vec![Ty::I64],
+            blocks: vec![Block {
+                insts: vec![Inst::Store {
+                    addr: Reg(0),
+                    offset: 0,
+                    value: Operand::Imm(1),
+                }],
+                term: Term::Ret(None),
+            }],
+        };
+        assert!(Program { funcs: vec![f] }.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_call_arity_mismatch() {
+        let callee = Function {
+            name: "callee".into(),
+            params: 2,
+            reg_types: vec![Ty::I64, Ty::I64],
+            blocks: vec![Block {
+                insts: vec![],
+                term: Term::Ret(None),
+            }],
+        };
+        let caller = Function {
+            name: "caller".into(),
+            params: 0,
+            reg_types: vec![],
+            blocks: vec![Block {
+                insts: vec![Inst::Call {
+                    dst: None,
+                    func: FuncId(0),
+                    args: vec![Operand::Imm(1)],
+                }],
+                term: Term::Ret(None),
+            }],
+        };
+        let prog = Program {
+            funcs: vec![callee, caller],
+        };
+        assert!(prog.validate().is_err());
+    }
+
+    #[test]
+    fn def_reports_destinations() {
+        assert_eq!(
+            Inst::Const {
+                dst: Reg(3),
+                value: 1
+            }
+            .def(),
+            Some(Reg(3))
+        );
+        assert_eq!(Inst::Free { ptr: Reg(1) }.def(), None);
+    }
+}

@@ -1,0 +1,820 @@
+//! A textual format for the mini-IR: parser and printer.
+//!
+//! Lets instrumentation test cases and example programs be written as
+//! text rather than builder calls, and gives `Program` a stable,
+//! diffable dump format. The grammar (line-oriented):
+//!
+//! ```text
+//! fn main() {
+//!   r0: ptr = malloc 32
+//!   r1: ptr = malloc 8
+//!   store r1, 0, r0          // pointer-typed store (r0 is ptr)
+//! bb1:
+//!   r2: i64 = const 0
+//!   r3: i64 = lt r2, 10
+//!   br r3, bb2, bb3
+//! bb2:
+//!   r2 = add r2, 1           // redefinition: no type annotation
+//!   jmp bb1
+//! bb3:
+//!   free r0
+//!   ret 0
+//! }
+//!
+//! fn helper(r0: ptr, r1: i64) {
+//!   ret r1
+//! }
+//! ```
+//!
+//! Rules: registers are declared with a type at their first definition
+//! and referenced bare afterwards; parameters are declared in the
+//! signature; the entry block is the code before the first `bbN:` label;
+//! every block must end in `jmp`/`br`/`ret`; calls reference functions by
+//! name (forward references allowed). `//` starts a comment.
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, Block, BlockId, FuncId, Function, Inst, Operand, Program, Reg, Term, Ty};
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+struct FuncParser {
+    line_no: usize,
+    reg_types: Vec<Ty>,
+    names: HashMap<String, Reg>,
+    blocks: Vec<Block>,
+    block_names: HashMap<String, BlockId>,
+    /// Forward block references: (line, name) checked after the body.
+    pending_blocks: Vec<(usize, String)>,
+}
+
+impl FuncParser {
+    fn reg(&mut self, tok: &str, line: usize) -> Result<Reg, ParseError> {
+        match self.names.get(tok) {
+            Some(r) => Ok(*r),
+            None => err(line, format!("undefined register `{tok}`")),
+        }
+    }
+
+    fn operand(&mut self, tok: &str, line: usize) -> Result<Operand, ParseError> {
+        if let Some(r) = self.names.get(tok) {
+            return Ok(Operand::Reg(*r));
+        }
+        match tok.parse::<i64>() {
+            Ok(v) => Ok(Operand::Imm(v)),
+            Err(_) => err(line, format!("expected register or immediate, got `{tok}`")),
+        }
+    }
+
+    /// Resolves a definition target. `explicit` is the written annotation
+    /// (only legal on the first definition); `default` is the type to use
+    /// when the instruction implies one (e.g. `malloc` produces `ptr`).
+    fn define(
+        &mut self,
+        name: &str,
+        explicit: Option<Ty>,
+        default: Option<Ty>,
+        line: usize,
+    ) -> Result<Reg, ParseError> {
+        match (self.names.get(name), explicit) {
+            (Some(r), None) => Ok(*r),
+            (Some(_), Some(_)) => err(line, format!("register `{name}` already declared")),
+            (None, explicit) => match explicit.or(default) {
+                Some(ty) => {
+                    let r = Reg(self.reg_types.len() as u32);
+                    self.reg_types.push(ty);
+                    self.names.insert(name.to_string(), r);
+                    Ok(r)
+                }
+                None => err(line, format!("first definition of `{name}` needs a type")),
+            },
+        }
+    }
+}
+
+fn parse_ty(tok: &str, line: usize) -> Result<Ty, ParseError> {
+    match tok {
+        "i64" => Ok(Ty::I64),
+        "ptr" => Ok(Ty::Ptr),
+        other => err(line, format!("unknown type `{other}`")),
+    }
+}
+
+fn parse_binop(tok: &str) -> Option<BinOp> {
+    Some(match tok {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "lt" => BinOp::Lt,
+        "le" => BinOp::Le,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        _ => return None,
+    })
+}
+
+/// Splits an instruction line into comma/whitespace-separated tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    line.split([' ', '\t', ',', '(', ')'])
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Parses a whole program.
+///
+/// # Examples
+///
+/// ```
+/// use dangsan_instr::text::parse_program;
+/// let prog = parse_program(
+///     "fn main() {\n  r0: ptr = malloc 16\n  free r0\n  ret 0\n}\n",
+/// ).unwrap();
+/// assert_eq!(prog.validate(), Ok(()));
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    // Pass 1: function names for forward references.
+    let mut func_names: HashMap<String, FuncId> = HashMap::new();
+    for (i, line) in src.lines().enumerate() {
+        let line = strip_comment(line).trim();
+        if let Some(rest) = line.strip_prefix("fn ") {
+            let name = rest
+                .split('(')
+                .next()
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .ok_or(ParseError {
+                    line: i + 1,
+                    msg: "missing function name".into(),
+                })?;
+            if func_names
+                .insert(name.to_string(), FuncId(func_names.len() as u32))
+                .is_some()
+            {
+                return err(i + 1, format!("duplicate function `{name}`"));
+            }
+        }
+    }
+
+    let mut funcs: Vec<Function> = Vec::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("fn ") else {
+            return err(i + 1, format!("expected `fn`, got `{line}`"));
+        };
+        if !rest.trim_end().ends_with('{') {
+            return err(i + 1, "function header must end with `{`");
+        }
+        // Signature: name(p: ty, q: ty) {
+        let open = rest.find('(').ok_or(ParseError {
+            line: i + 1,
+            msg: "missing `(`".into(),
+        })?;
+        let close = rest.find(')').ok_or(ParseError {
+            line: i + 1,
+            msg: "missing `)`".into(),
+        })?;
+        if close < open {
+            return err(i + 1, "`)` before `(` in function header");
+        }
+        let name = rest[..open].trim().to_string();
+        let params_src = &rest[open + 1..close];
+
+        let mut fp = FuncParser {
+            line_no: i + 1,
+            reg_types: Vec::new(),
+            names: HashMap::new(),
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Term::Ret(None),
+            }],
+            block_names: HashMap::new(),
+            pending_blocks: Vec::new(),
+        };
+        let mut params = 0u32;
+        for p in params_src
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
+            let (pname, ty) = p.split_once(':').ok_or(ParseError {
+                line: i + 1,
+                msg: format!("parameter `{p}` needs `name: type`"),
+            })?;
+            let ty = parse_ty(ty.trim(), i + 1)?;
+            fp.define(pname.trim(), Some(ty), None, i + 1)?;
+            params += 1;
+        }
+
+        // Body lines until `}`.
+        let mut current = 0usize;
+        let mut terminated = vec![false];
+        loop {
+            let Some((j, raw)) = lines.next() else {
+                return err(fp.line_no, format!("function `{name}` missing `}}`"));
+            };
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                // A label either names a block pre-created by a forward
+                // reference, or creates a fresh one.
+                let id = match fp.block_names.get(label) {
+                    Some(&id) => {
+                        // Forward-created: must not have been labelled yet.
+                        let already = fp.pending_blocks.iter().all(|(_, n)| n != label);
+                        if already {
+                            return err(j + 1, format!("duplicate label `{label}`"));
+                        }
+                        fp.pending_blocks.retain(|(_, n)| n != label);
+                        id
+                    }
+                    None => {
+                        let id = BlockId(fp.blocks.len() as u32);
+                        fp.blocks.push(Block {
+                            insts: Vec::new(),
+                            term: Term::Ret(None),
+                        });
+                        fp.block_names.insert(label.to_string(), id);
+                        id
+                    }
+                };
+                while terminated.len() < fp.blocks.len() {
+                    terminated.push(false);
+                }
+                current = id.0 as usize;
+                continue;
+            }
+            while terminated.len() < fp.blocks.len() {
+                terminated.push(false);
+            }
+            if terminated[current] {
+                return err(j + 1, "instruction after block terminator");
+            }
+            parse_line(&line, j + 1, &mut fp, &func_names, current, &mut terminated)?;
+        }
+        // Any remaining pending entries are labels that never appeared.
+        if let Some((line, name)) = fp.pending_blocks.first() {
+            return err(*line, format!("undefined block `{name}`"));
+        }
+        // Unterminated blocks fall back to `ret` (permitted; matches the
+        // builder's default).
+        funcs.push(Function {
+            name,
+            params,
+            reg_types: fp.reg_types,
+            blocks: fp.blocks,
+        });
+    }
+    // Reorder functions to match first-pass ids (parse order == id order).
+    let prog = Program { funcs };
+    Ok(prog)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_line(
+    line: &str,
+    ln: usize,
+    fp: &mut FuncParser,
+    func_names: &HashMap<String, FuncId>,
+    current: usize,
+    terminated: &mut [bool],
+) -> Result<(), ParseError> {
+    let toks = tokens(line);
+    debug_assert!(!toks.is_empty());
+
+    // Terminators.
+    match toks[0] {
+        "jmp" => {
+            if toks.len() != 2 {
+                return err(ln, "jmp takes one label");
+            }
+            let target = resolve_block(fp, toks[1], ln)?;
+            fp.blocks[current].term = Term::Jump(target);
+            terminated[current] = true;
+            return Ok(());
+        }
+        "br" => {
+            if toks.len() != 4 {
+                return err(ln, "br takes cond, then, else");
+            }
+            let cond = fp.operand(toks[1], ln)?;
+            let t = resolve_block(fp, toks[2], ln)?;
+            let e = resolve_block(fp, toks[3], ln)?;
+            fp.blocks[current].term = Term::Branch {
+                cond,
+                then_to: t,
+                else_to: e,
+            };
+            terminated[current] = true;
+            return Ok(());
+        }
+        "ret" => {
+            let v = match toks.len() {
+                1 => None,
+                2 => Some(fp.operand(toks[1], ln)?),
+                _ => return err(ln, "ret takes at most one operand"),
+            };
+            fp.blocks[current].term = Term::Ret(v);
+            terminated[current] = true;
+            return Ok(());
+        }
+        "free" => {
+            if toks.len() != 2 {
+                return err(ln, "free takes one register");
+            }
+            let ptr = fp.reg(toks[1], ln)?;
+            fp.blocks[current].insts.push(Inst::Free { ptr });
+            return Ok(());
+        }
+        "store" => {
+            if toks.len() != 4 {
+                return err(ln, "store takes addr, offset, value");
+            }
+            let addr = fp.reg(toks[1], ln)?;
+            let offset: i64 = toks[2].parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "store offset must be an integer".into(),
+            })?;
+            let value = fp.operand(toks[3], ln)?;
+            fp.blocks[current].insts.push(Inst::Store {
+                addr,
+                offset,
+                value,
+            });
+            return Ok(());
+        }
+        "call" => {
+            // call name(args...) with no destination.
+            let func = lookup_func(func_names, toks[1], ln)?;
+            let args = toks[2..]
+                .iter()
+                .map(|t| fp.operand(t, ln))
+                .collect::<Result<Vec<_>, _>>()?;
+            fp.blocks[current].insts.push(Inst::Call {
+                dst: None,
+                func,
+                args,
+            });
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    // Definitions: `rN[: ty] = <op> ...`
+    let eq = toks.iter().position(|t| *t == "=").ok_or(ParseError {
+        line: ln,
+        msg: format!("unrecognised statement `{line}`"),
+    })?;
+    let (dst_name, dst_ty) = match eq {
+        1 => (toks[0].trim_end_matches(':'), None),
+        2 if toks[0].ends_with(':') => {
+            (toks[0].trim_end_matches(':'), Some(parse_ty(toks[1], ln)?))
+        }
+        2 => (
+            toks[0],
+            Some(parse_ty(toks[1].trim_start_matches(':'), ln)?),
+        ),
+        _ => return err(ln, "malformed definition"),
+    };
+    let rhs = &toks[eq + 1..];
+    if rhs.is_empty() {
+        return err(ln, "missing right-hand side");
+    }
+    let op = rhs[0];
+    let inst = match op {
+        "const" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::I64), ln)?;
+            let value: i64 = rhs[1].parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "const needs an integer".into(),
+            })?;
+            Inst::Const { dst, value }
+        }
+        "malloc" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::Ptr), ln)?;
+            let size = fp.operand(rhs[1], ln)?;
+            Inst::Malloc { dst, size }
+        }
+        "realloc" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::Ptr), ln)?;
+            let ptr = fp.reg(rhs[1], ln)?;
+            let size = fp.operand(rhs[2], ln)?;
+            Inst::Realloc { dst, ptr, size }
+        }
+        "load" => {
+            let dst = fp.define(dst_name, dst_ty, None, ln)?;
+            let addr = fp.reg(rhs[1], ln)?;
+            let offset: i64 = rhs[2].parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "load offset must be an integer".into(),
+            })?;
+            Inst::Load { dst, addr, offset }
+        }
+        "gep" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::Ptr), ln)?;
+            let base = fp.reg(rhs[1], ln)?;
+            let offset = fp.operand(rhs[2], ln)?;
+            Inst::Gep { dst, base, offset }
+        }
+        "alloca" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::Ptr), ln)?;
+            let size: u64 = rhs[1].parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "alloca needs a size".into(),
+            })?;
+            Inst::StackAlloc { dst, size }
+        }
+        "call" => {
+            let dst = fp.define(dst_name, dst_ty, Some(Ty::I64), ln)?;
+            let func = lookup_func(func_names, rhs[1], ln)?;
+            let args = rhs[2..]
+                .iter()
+                .map(|t| fp.operand(t, ln))
+                .collect::<Result<Vec<_>, _>>()?;
+            Inst::Call {
+                dst: Some(dst),
+                func,
+                args,
+            }
+        }
+        other => match parse_binop(other) {
+            Some(op) => {
+                let dst = fp.define(dst_name, dst_ty, Some(Ty::I64), ln)?;
+                if rhs.len() != 3 {
+                    return err(ln, "binary op takes two operands");
+                }
+                let lhs = fp.operand(rhs[1], ln)?;
+                let r = fp.operand(rhs[2], ln)?;
+                Inst::Bin {
+                    dst,
+                    op,
+                    lhs,
+                    rhs: r,
+                }
+            }
+            None => return err(ln, format!("unknown operation `{other}`")),
+        },
+    };
+    fp.blocks[current].insts.push(inst);
+    Ok(())
+}
+
+fn resolve_block(fp: &mut FuncParser, name: &str, line: usize) -> Result<BlockId, ParseError> {
+    if let Some(b) = fp.block_names.get(name) {
+        return Ok(*b);
+    }
+    // Forward reference: pre-create the block; the label attaches later.
+    let id = BlockId(fp.blocks.len() as u32);
+    fp.blocks.push(Block {
+        insts: Vec::new(),
+        term: Term::Ret(None),
+    });
+    fp.block_names.insert(name.to_string(), id);
+    fp.pending_blocks.push((line, name.to_string()));
+    Ok(id)
+}
+
+fn lookup_func(
+    names: &HashMap<String, FuncId>,
+    name: &str,
+    line: usize,
+) -> Result<FuncId, ParseError> {
+    names.get(name).copied().ok_or(ParseError {
+        line,
+        msg: format!("unknown function `{name}`"),
+    })
+}
+
+/// Prints a program in the textual format accepted by [`parse_program`].
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for f in &prog.funcs {
+        print_function(prog, f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn op_str(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => v.to_string(),
+    }
+}
+
+fn ty_str(ty: Ty) -> &'static str {
+    match ty {
+        Ty::I64 => "i64",
+        Ty::Ptr => "ptr",
+    }
+}
+
+fn print_function(prog: &Program, f: &Function, out: &mut String) {
+    use std::fmt::Write;
+    let params: Vec<String> = (0..f.params)
+        .map(|i| format!("r{i}: {}", ty_str(f.reg_types[i as usize])))
+        .collect();
+    let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+    let mut declared: Vec<bool> = vec![false; f.reg_types.len()];
+    for i in 0..f.params as usize {
+        declared[i] = true;
+    }
+    // First definition gets a type annotation; later ones do not. The
+    // printer must scan in execution-independent (textual) order, which is
+    // the order blocks are emitted.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if bi > 0 {
+            let _ = writeln!(out, "bb{bi}:");
+        }
+        for inst in &b.insts {
+            let def = inst.def();
+            let lhs = |declared: &mut [bool]| -> String {
+                match def {
+                    Some(r) => {
+                        let d = &mut declared[r.0 as usize];
+                        if *d {
+                            format!("r{} = ", r.0)
+                        } else {
+                            *d = true;
+                            format!("r{}: {} = ", r.0, ty_str(f.reg_types[r.0 as usize]))
+                        }
+                    }
+                    None => String::new(),
+                }
+            };
+            let text = match inst {
+                Inst::Const { value, .. } => format!("{}const {value}", lhs(&mut declared)),
+                Inst::Bin {
+                    op, lhs: a, rhs: b, ..
+                } => {
+                    let name = match op {
+                        BinOp::Add => "add",
+                        BinOp::Sub => "sub",
+                        BinOp::Mul => "mul",
+                        BinOp::Lt => "lt",
+                        BinOp::Le => "le",
+                        BinOp::Eq => "eq",
+                        BinOp::Ne => "ne",
+                        BinOp::And => "and",
+                        BinOp::Or => "or",
+                        BinOp::Xor => "xor",
+                    };
+                    format!(
+                        "{}{} {}, {}",
+                        lhs(&mut declared),
+                        name,
+                        op_str(a),
+                        op_str(b)
+                    )
+                }
+                Inst::Malloc { size, .. } => {
+                    format!("{}malloc {}", lhs(&mut declared), op_str(size))
+                }
+                Inst::Free { ptr } => format!("free r{}", ptr.0),
+                Inst::Realloc { ptr, size, .. } => {
+                    format!("{}realloc r{}, {}", lhs(&mut declared), ptr.0, op_str(size))
+                }
+                Inst::Load { addr, offset, .. } => {
+                    format!("{}load r{}, {offset}", lhs(&mut declared), addr.0)
+                }
+                Inst::Store {
+                    addr,
+                    offset,
+                    value,
+                } => format!("store r{}, {offset}, {}", addr.0, op_str(value)),
+                Inst::Gep { base, offset, .. } => {
+                    format!("{}gep r{}, {}", lhs(&mut declared), base.0, op_str(offset))
+                }
+                Inst::Call { dst, func, args } => {
+                    let callee = &prog.funcs[func.0 as usize].name;
+                    let args: Vec<String> = args.iter().map(op_str).collect();
+                    match dst {
+                        Some(_) => {
+                            format!("{}call {callee}({})", lhs(&mut declared), args.join(", "))
+                        }
+                        None => format!("call {callee}({})", args.join(", ")),
+                    }
+                }
+                Inst::StackAlloc { size, .. } => {
+                    format!("{}alloca {size}", lhs(&mut declared))
+                }
+                Inst::RegisterPtr {
+                    addr,
+                    offset,
+                    value,
+                } => format!("// registerptr r{}, {offset}, r{}", addr.0, value.0),
+            };
+            let _ = writeln!(out, "  {text}");
+        }
+        let term = match &b.term {
+            Term::Jump(t) => format!("jmp bb{}", t.0),
+            Term::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => format!("br {}, bb{}, bb{}", op_str(cond), then_to.0, else_to.0),
+            Term::Ret(None) => "ret".to_string(),
+            Term::Ret(Some(v)) => format!("ret {}", op_str(v)),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_program() {
+        let prog =
+            parse_program("fn main() {\n  r0: ptr = malloc 16\n  free r0\n  ret 0\n}\n").unwrap();
+        assert_eq!(prog.funcs.len(), 1);
+        assert_eq!(prog.validate(), Ok(()));
+        assert_eq!(prog.funcs[0].blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn parse_loop_with_labels() {
+        let src = "
+fn main() {
+  r0: ptr = malloc 8
+  r1: ptr = malloc 64
+  r2: i64 = const 0
+  jmp header
+header:
+  r3: i64 = lt r2, 10
+  br r3, body, exit
+body:
+  store r0, 0, r1
+  r2 = add r2, 1
+  jmp header
+exit:
+  ret r2
+}
+";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.validate(), Ok(()));
+        assert_eq!(prog.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn parse_calls_with_forward_reference() {
+        let src = "
+fn main() {
+  r0: i64 = call helper(7)
+  ret r0
+}
+
+fn helper(r0: i64) {
+  r1: i64 = add r0, 1
+  ret r1
+}
+";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.validate(), Ok(()));
+        assert_eq!(prog.funcs.len(), 2);
+    }
+
+    #[test]
+    fn error_on_undefined_register() {
+        let e = parse_program("fn main() {\n  free r9\n  ret\n}\n").unwrap_err();
+        assert!(e.msg.contains("undefined register"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn error_on_retyped_register() {
+        let e = parse_program("fn main() {\n  r0: i64 = const 1\n  r0: i64 = const 2\n  ret\n}\n")
+            .unwrap_err();
+        assert!(e.msg.contains("already declared"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unknown_block() {
+        let e = parse_program("fn main() {\n  jmp nowhere\n}\n").unwrap_err();
+        assert!(e.msg.contains("undefined block"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "
+// a program
+fn main() {
+  // make an object
+  r0: ptr = malloc 8
+
+  ret 0 // done
+}
+";
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn print_then_parse_roundtrip() {
+        let src = "
+fn main() {
+  r0: ptr = malloc 8
+  r1: ptr = malloc 64
+  r2: i64 = const 0
+  jmp bb1
+bb1:
+  r3: i64 = lt r2, 10
+  br r3, bb2, bb3
+bb2:
+  store r0, 0, r1
+  r4: ptr = load r0, 0
+  r5: ptr = gep r4, 8
+  store r0, 0, r5
+  r2 = add r2, 1
+  jmp bb1
+bb3:
+  free r1
+  r6: i64 = call helper(r2)
+  ret r6
+}
+
+fn helper(r0: i64) {
+  r1: i64 = mul r0, 2
+  ret r1
+}
+";
+        let prog = parse_program(src).unwrap();
+        prog.validate().unwrap();
+        let printed = print_program(&prog);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(prog, reparsed, "print/parse round-trip\n{printed}");
+    }
+
+    #[test]
+    fn parsed_program_executes() {
+        use crate::instrument::PassOptions;
+        use crate::interp::run_instrumented;
+        use dangsan::NullDetector;
+        use std::sync::Arc;
+
+        let src = "
+fn main() {
+  r0: i64 = const 0
+  r1: i64 = const 0
+  jmp bb1
+bb1:
+  r2: i64 = lt r1, 5
+  br r2, bb2, bb3
+bb2:
+  r0 = add r0, r1
+  r1 = add r1, 1
+  jmp bb1
+bb3:
+  ret r0
+}
+";
+        let prog = parse_program(src).unwrap();
+        let mem = Arc::new(dangsan_vmem::AddressSpace::new());
+        let heap = dangsan_heap::Heap::new(Arc::clone(&mem));
+        let hh = dangsan::HookedHeap::new(heap, Arc::new(NullDetector));
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), hh);
+        assert_eq!(r.unwrap(), Some(0 + 1 + 2 + 3 + 4));
+    }
+}

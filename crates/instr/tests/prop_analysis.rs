@@ -1,0 +1,174 @@
+//! Property tests for the static analyses: the iterative dominator
+//! algorithm is checked against the textbook set-based definition on
+//! random CFGs, and loop detection invariants are verified.
+
+use std::collections::HashSet;
+
+use dangsan_instr::analysis::{natural_loops, Cfg, Dominators};
+use dangsan_instr::ir::{Block, BlockId, Function, Inst, Operand, Reg, Term, Ty};
+use proptest::prelude::*;
+
+/// Builds a function whose CFG is given by `edges` over `n` blocks (block
+/// 0 is the entry). Each block gets one dummy instruction; terminators are
+/// derived from its out-edges (0 → ret, 1 → jmp, ≥2 → br on a constant).
+fn cfg_function(n: usize, edges: &[(usize, usize)]) -> Function {
+    let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if outs[a].len() < 2 && !outs[a].contains(&b) {
+            outs[a].push(b);
+        }
+    }
+    let blocks = outs
+        .iter()
+        .map(|succ| Block {
+            insts: vec![Inst::Const {
+                dst: Reg(0),
+                value: 1,
+            }],
+            term: match succ.as_slice() {
+                [] => Term::Ret(None),
+                [t] => Term::Jump(BlockId(*t as u32)),
+                [t, e, ..] => Term::Branch {
+                    cond: Operand::Reg(Reg(0)),
+                    then_to: BlockId(*t as u32),
+                    else_to: BlockId(*e as u32),
+                },
+            },
+        })
+        .collect();
+    Function {
+        name: "cfg".into(),
+        params: 0,
+        reg_types: vec![Ty::I64],
+        blocks,
+    }
+}
+
+/// Reference dominators: the classic dataflow definition — `a dom b` iff
+/// every path from the entry to `b` passes through `a`, computed by
+/// set intersection to fixpoint.
+fn reference_dominators(cfg: &Cfg, n: usize) -> Vec<HashSet<usize>> {
+    let reach = reachable(cfg, n);
+    let all: HashSet<usize> = (0..n).filter(|b| reach[*b]).collect();
+    let mut dom: Vec<HashSet<usize>> = vec![all; n];
+    dom[0] = HashSet::from([0]);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reach[b] {
+                continue;
+            }
+            // Only reachable predecessors constrain the dominator set.
+            let preds: Vec<usize> = cfg.preds[b]
+                .iter()
+                .map(|p| p.0 as usize)
+                .filter(|p| reach[*p])
+                .collect();
+            let mut new: Option<HashSet<usize>> = None;
+            for p in preds {
+                let pd = &dom[p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Reachability from the entry.
+fn reachable(cfg: &Cfg, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in &cfg.succs[b] {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                stack.push(s.0 as usize);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn iterative_dominators_match_reference(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+    ) {
+        let f = cfg_function(n, &edges);
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let reference = reference_dominators(&cfg, n);
+        let reach = reachable(&cfg, n);
+        for b in 0..n {
+            if !reach[b] {
+                continue; // unreachable blocks are out of scope
+            }
+            for a in 0..n {
+                if !reach[a] {
+                    continue;
+                }
+                let expected = reference[b].contains(&a);
+                let got = dom.dominates(BlockId(a as u32), BlockId(b as u32));
+                prop_assert_eq!(
+                    got, expected,
+                    "does {} dominate {}? cfg succs: {:?}",
+                    a, b, cfg.succs
+                );
+            }
+        }
+    }
+
+    /// Natural-loop invariants: the header dominates every block of its
+    /// loop, and every loop contains a back edge to the header.
+    #[test]
+    fn natural_loop_invariants(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+    ) {
+        let f = cfg_function(n, &edges);
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let loops = natural_loops(&f, &cfg, &dom);
+        for l in &loops {
+            prop_assert!(l.blocks.contains(&l.header));
+            for b in &l.blocks {
+                prop_assert!(
+                    dom.dominates(l.header, *b),
+                    "header bb{} must dominate member bb{}",
+                    l.header.0, b.0
+                );
+            }
+            // Some member branches back to the header.
+            let has_backedge = l.blocks.iter().any(|b| {
+                cfg.succs[b.0 as usize].contains(&l.header)
+            });
+            prop_assert!(has_backedge, "loop at bb{} lacks a back edge", l.header.0);
+            // The preheader, when reported, is outside the loop and is the
+            // unique outside predecessor of the header.
+            if let Some(pre) = l.preheader {
+                prop_assert!(!l.blocks.contains(&pre));
+                let outside: Vec<_> = cfg.preds[l.header.0 as usize]
+                    .iter()
+                    .filter(|p| !l.blocks.contains(p))
+                    .collect();
+                prop_assert_eq!(outside.len(), 1);
+                prop_assert_eq!(*outside[0], pre);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property test: the §6 optimizations never change what is detected.
+//!
+//! Random programs are generated from a small statement language and run
+//! twice — once with naive instrumentation (a `registerptr` after every
+//! pointer store) and once with the optimized pass (hoisting + elision).
+//! Both runs must produce the same outcome (same trap or same return) and
+//! invalidate exactly the same number of pointers.
+
+use std::sync::Arc;
+
+use dangsan::{Config, DangSan, Detector, HookedHeap, StatsSnapshot};
+use dangsan_heap::Heap;
+use dangsan_instr::builder::FunctionBuilder;
+use dangsan_instr::interp::Trap;
+use dangsan_instr::ir::{BinOp, Operand, Program, Reg};
+use dangsan_instr::{instrument, Machine, PassOptions};
+use dangsan_vmem::AddressSpace;
+use proptest::prelude::*;
+
+const SLOTS: i64 = 8;
+const OBJS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// Store a pointer to object `obj` into slot `slot`.
+    Store { obj: usize, slot: i64 },
+    /// A counted loop storing a pointer into a slot every iteration.
+    LoopStore { obj: usize, slot: i64, iters: i64 },
+    /// p = load slot; p += 8; store slot, p (the elision pattern).
+    Increment { slot: i64 },
+    /// Free object `obj` (ignored if already freed).
+    Free { obj: usize },
+    /// Dereference whatever pointer slot `slot` holds.
+    Deref { slot: i64 },
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        4 => (0..OBJS, 0..SLOTS).prop_map(|(obj, slot)| Stmt::Store { obj, slot }),
+        2 => (0..OBJS, 0..SLOTS, 1i64..6).prop_map(|(obj, slot, iters)| Stmt::LoopStore {
+            obj, slot, iters
+        }),
+        2 => (0..SLOTS).prop_map(|slot| Stmt::Increment { slot }),
+        2 => (0..OBJS).prop_map(|obj| Stmt::Free { obj }),
+        2 => (0..SLOTS).prop_map(|slot| Stmt::Deref { slot }),
+    ]
+}
+
+/// Compiles a statement list into a one-function program.
+fn compile(stmts: &[Stmt]) -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    // One slab of pointer slots plus OBJS heap objects.
+    let slab = fb.malloc(Operand::Imm(SLOTS * 8));
+    let objs: Vec<Reg> = (0..OBJS).map(|_| fb.malloc(Operand::Imm(64))).collect();
+    let mut freed = [false; OBJS];
+    for s in stmts {
+        match s {
+            Stmt::Store { obj, slot } => {
+                fb.store_ptr(slab, slot * 8, objs[*obj]);
+            }
+            Stmt::LoopStore { obj, slot, iters } => {
+                let i = fb.iconst(0);
+                let header = fb.new_block();
+                let body = fb.new_block();
+                let exit = fb.new_block();
+                fb.jump(header);
+                fb.switch_to(header);
+                let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(*iters));
+                fb.branch(Operand::Reg(c), body, exit);
+                fb.switch_to(body);
+                fb.store_ptr(slab, slot * 8, objs[*obj]);
+                fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+                fb.jump(header);
+                fb.switch_to(exit);
+            }
+            Stmt::Increment { slot } => {
+                let p = fb.load_ptr(slab, slot * 8);
+                let p2 = fb.gep(p, Operand::Imm(8));
+                fb.store_ptr(slab, slot * 8, p2);
+            }
+            Stmt::Free { obj } => {
+                if !freed[*obj] {
+                    fb.free(objs[*obj]);
+                    freed[*obj] = true;
+                }
+            }
+            Stmt::Deref { slot } => {
+                let p = fb.load_ptr(slab, slot * 8);
+                // Guard: only dereference plausible pointers (non-zero).
+                let is_ptr = fb.bin(BinOp::Ne, Operand::Reg(p), Operand::Imm(0));
+                let doit = fb.new_block();
+                let skip = fb.new_block();
+                fb.branch(Operand::Reg(is_ptr), doit, skip);
+                fb.switch_to(doit);
+                let _v = fb.load_i64(p, 0);
+                fb.jump(skip);
+                fb.switch_to(skip);
+            }
+        }
+    }
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+fn run(prog: &Program, opts: PassOptions) -> (Result<Option<u64>, Trap>, StatsSnapshot) {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), Config::default());
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    let (instrumented, _) = instrument(prog, opts);
+    instrumented
+        .validate()
+        .expect("valid after instrumentation");
+    let mut m = Machine::new(hh, 0);
+    let main = instrumented.func_by_name("main").unwrap();
+    let r = m.run(&instrumented, main, &[]);
+    (r, det.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimized_pass_detects_exactly_what_naive_does(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..40),
+    ) {
+        let prog = compile(&stmts);
+        prog.validate().expect("generated program valid");
+        let (r_naive, s_naive) = run(&prog, PassOptions::naive());
+        let (r_opt, s_opt) = run(&prog, PassOptions::optimized());
+        prop_assert_eq!(&r_naive, &r_opt, "outcomes diverge");
+        prop_assert_eq!(
+            s_naive.ptrs_invalidated, s_opt.ptrs_invalidated,
+            "invalidation sets diverge: naive={:?} opt={:?}", s_naive, s_opt
+        );
+        // The optimizations only ever remove registrations.
+        prop_assert!(s_opt.ptrs_registered + s_opt.dup_ptrs
+            <= s_naive.ptrs_registered + s_naive.dup_ptrs);
+    }
+}

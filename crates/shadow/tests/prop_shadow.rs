@@ -1,0 +1,44 @@
+//! Property test: the metapagetable resolves every interior pointer of
+//! every registered object, and nothing else.
+
+use dangsan_shadow::MetaPageTable;
+use dangsan_vmem::{HEAP_BASE, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tile a span with objects of a stride compatible with the shift and
+    /// check exhaustive interior-pointer resolution.
+    #[test]
+    fn tiled_span_resolves_exactly(
+        shift in 3u32..=12,
+        stride_mult in 1u64..8,
+        span_pages in 1u64..4,
+    ) {
+        let stride = (1u64 << shift) * stride_mult;
+        let span_bytes = span_pages * PAGE_SIZE;
+        prop_assume!(stride <= span_bytes);
+        let objects = span_bytes / stride;
+        let t = MetaPageTable::new();
+        t.register_span(HEAP_BASE, span_pages, shift);
+        for i in 0..objects {
+            t.set_object(HEAP_BASE + i * stride, stride, i + 1);
+        }
+        // Probe a sample of addresses in the span.
+        let step = (stride / 4).max(1);
+        let mut addr = HEAP_BASE;
+        while addr < HEAP_BASE + objects * stride {
+            let expect = (addr - HEAP_BASE) / stride + 1;
+            prop_assert_eq!(t.lookup(addr), Some(expect));
+            addr += step;
+        }
+        // Clearing one object leaves its neighbours intact.
+        if objects >= 3 {
+            t.clear_object(HEAP_BASE + stride, stride);
+            prop_assert_eq!(t.lookup(HEAP_BASE + stride), None);
+            prop_assert_eq!(t.lookup(HEAP_BASE + stride - 1), Some(1));
+            prop_assert_eq!(t.lookup(HEAP_BASE + 2 * stride), Some(3));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Bump-allocated segments for simulated stacks and globals.
+//!
+//! DangSan tracks pointers stored *anywhere* in memory — heap, stack, or
+//! globals (this is its key coverage advantage over DangNULL, which only
+//! tracks heap-resident pointers). Workloads therefore need cheap stack and
+//! global storage locations; this module provides them as bump allocators
+//! over a mapped region of the address space.
+
+use std::sync::Arc;
+
+use crate::layout::Addr;
+use crate::{AddressSpace, MapError};
+
+/// A mapped region handed out 8-byte-aligned chunks in LIFO fashion.
+///
+/// Used to simulate a thread's stack (push frames, pop frames) or the
+/// globals segment (never popped).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dangsan_vmem::{AddressSpace, BumpSegment, STACKS_BASE};
+///
+/// let mem = Arc::new(AddressSpace::new());
+/// let mut stack = BumpSegment::map(Arc::clone(&mem), STACKS_BASE, 1 << 16).unwrap();
+/// let frame = stack.alloc(64).unwrap();
+/// mem.write_word(frame, 7).unwrap();
+/// stack.pop_to(frame);
+/// ```
+pub struct BumpSegment {
+    mem: Arc<AddressSpace>,
+    base: Addr,
+    size: u64,
+    top: Addr,
+}
+
+impl BumpSegment {
+    /// Maps `size` bytes at `base` and wraps them in a bump allocator.
+    pub fn map(mem: Arc<AddressSpace>, base: Addr, size: u64) -> Result<Self, MapError> {
+        mem.map(base, size)?;
+        Ok(BumpSegment {
+            mem,
+            base,
+            size,
+            top: base,
+        })
+    }
+
+    /// Allocates `len` bytes (rounded up to 8), returning the base address,
+    /// or `None` when the segment is exhausted.
+    pub fn alloc(&mut self, len: u64) -> Option<Addr> {
+        let len = len.div_ceil(8) * 8;
+        if self.top + len > self.base + self.size {
+            return None;
+        }
+        let addr = self.top;
+        self.top += len;
+        Some(addr)
+    }
+
+    /// Releases everything allocated at or above `mark` (frame pop).
+    ///
+    /// The memory stays mapped but is zeroed, matching the reuse of stack
+    /// memory by later frames; locations below `mark` are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is outside this segment or above the current top.
+    pub fn pop_to(&mut self, mark: Addr) {
+        assert!(mark >= self.base && mark <= self.top, "bad stack mark");
+        self.mem
+            .zero(mark, self.top - mark)
+            .expect("segment memory is mapped");
+        self.top = mark;
+    }
+
+    /// Current top-of-stack (the next allocation address).
+    pub fn top(&self) -> Addr {
+        self.top
+    }
+
+    /// Base address of the segment.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns true if `addr` lies within the currently allocated part.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.top
+    }
+
+    /// Unmaps the whole segment, simulating stack teardown at thread exit.
+    ///
+    /// Pointer locations inside it become unreadable, which is exactly the
+    /// condition DangSan's `invalptrs` must survive by catching SIGSEGV.
+    pub fn unmap(self) {
+        self.mem
+            .unmap(self.base, self.size)
+            .expect("segment was mapped at construction");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::STACKS_BASE;
+    use crate::FaultKind as FK;
+
+    #[test]
+    fn alloc_is_aligned_and_lifo() {
+        let mem = Arc::new(AddressSpace::new());
+        let mut seg = BumpSegment::map(Arc::clone(&mem), STACKS_BASE, 1 << 14).unwrap();
+        let a = seg.alloc(12).unwrap();
+        let b = seg.alloc(8).unwrap();
+        assert_eq!(a % 8, 0);
+        assert_eq!(b, a + 16); // 12 rounded to 16
+        seg.pop_to(a);
+        let c = seg.alloc(8).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn pop_zeroes_released_memory() {
+        let mem = Arc::new(AddressSpace::new());
+        let mut seg = BumpSegment::map(Arc::clone(&mem), STACKS_BASE, 1 << 14).unwrap();
+        let a = seg.alloc(8).unwrap();
+        mem.write_word(a, 99).unwrap();
+        seg.pop_to(a);
+        seg.alloc(8).unwrap();
+        assert_eq!(mem.read_word(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mem = Arc::new(AddressSpace::new());
+        let mut seg = BumpSegment::map(Arc::clone(&mem), STACKS_BASE, 4096).unwrap();
+        assert!(seg.alloc(4096).is_some());
+        assert!(seg.alloc(8).is_none());
+    }
+
+    #[test]
+    fn unmap_makes_locations_fault() {
+        let mem = Arc::new(AddressSpace::new());
+        let mut seg = BumpSegment::map(Arc::clone(&mem), STACKS_BASE, 4096).unwrap();
+        let a = seg.alloc(8).unwrap();
+        mem.write_word(a, 1).unwrap();
+        seg.unmap();
+        assert_eq!(mem.read_word(a).unwrap_err().kind, FK::Unmapped);
+    }
+}

@@ -1,0 +1,93 @@
+//! Address-space layout constants shared by the whole reproduction.
+//!
+//! The layout mimics a Linux x86-64 process: globals low, heap in the
+//! middle, thread stacks high, everything within the 48-bit canonical
+//! user-space range so that setting bit 63 always produces a non-canonical
+//! (trapping) address.
+
+/// A simulated virtual address.
+pub type Addr = u64;
+
+/// log2 of the page size (4 KiB pages, as on x86-64).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Number of 8-byte words per page.
+pub const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
+
+/// The bit DangSan sets when invalidating a dangling pointer.
+///
+/// Setting the most significant bit produces a non-canonical x86-64 address,
+/// so a dereference traps while the low bits still identify the original
+/// object (paper §4.4: easier debugging, and pointer arithmetic on freed
+/// pointers keeps working for programs like soplex).
+pub const INVALID_BIT: u64 = 1 << 63;
+
+/// Base of the simulated globals segment.
+pub const GLOBALS_BASE: Addr = 0x0000_0100_0000_0000;
+/// Size of the globals segment (256 MiB).
+pub const GLOBALS_SIZE: u64 = 256 << 20;
+
+/// Base of the simulated heap. All tracked objects live here.
+pub const HEAP_BASE: Addr = 0x0000_1000_0000_0000;
+/// Maximum simulated heap size (64 GiB of address space; pages are sparse).
+pub const HEAP_SIZE: u64 = 64 << 30;
+
+/// Base of the simulated stack area; each thread gets a slice of it.
+pub const STACKS_BASE: Addr = 0x0000_7F00_0000_0000;
+/// Total address space reserved for stacks.
+pub const STACKS_SIZE: u64 = 64 << 30;
+
+/// Returns `true` for addresses a user-space pointer may legally take:
+/// within the low 48-bit canonical half and below the stack top.
+pub fn is_canonical_user(addr: Addr) -> bool {
+    addr < (1 << 47)
+}
+
+/// Strips the invalidation bit, recovering the pre-invalidation address.
+pub fn canonical(addr: Addr) -> Addr {
+    addr & !INVALID_BIT
+}
+
+/// The page number containing `addr`.
+pub fn page_of(addr: Addr) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// The word index of `addr` within its page.
+///
+/// # Panics
+///
+/// Does not panic; callers must ensure 8-byte alignment separately.
+pub fn word_index(addr: Addr) -> usize {
+    ((addr & (PAGE_SIZE - 1)) / 8) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_disjoint_and_canonical() {
+        assert!(GLOBALS_BASE + GLOBALS_SIZE <= HEAP_BASE);
+        assert!(HEAP_BASE + HEAP_SIZE <= STACKS_BASE);
+        assert!(is_canonical_user(STACKS_BASE + STACKS_SIZE - 1));
+        assert!(!is_canonical_user(INVALID_BIT | HEAP_BASE));
+    }
+
+    #[test]
+    fn invalidation_is_reversible() {
+        let p = HEAP_BASE + 0x1234;
+        assert_eq!(canonical(p | INVALID_BIT), p);
+    }
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(PAGE_SIZE), 1);
+        assert_eq!(page_of(PAGE_SIZE - 1), 0);
+        assert_eq!(word_index(HEAP_BASE), 0);
+        assert_eq!(word_index(HEAP_BASE + 8), 1);
+        assert_eq!(word_index(HEAP_BASE + PAGE_SIZE - 8), WORDS_PER_PAGE - 1);
+    }
+}

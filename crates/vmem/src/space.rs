@@ -1,0 +1,611 @@
+//! The sparse, thread-safe address space.
+//!
+//! Implemented as a three-level radix tree over the 48-bit canonical user
+//! space (12 bits per level, 4 KiB leaf pages). Interior nodes and pages are
+//! installed with compare-and-swap, so all accesses — including page-table
+//! population — are lock-free. This matters for the reproduction: DangSan's
+//! entire point is that pointer tracking adds no locks, so the substrate
+//! underneath it must not add any either.
+
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::ptr;
+
+use crate::layout::{
+    is_canonical_user, page_of, word_index, Addr, PAGE_SHIFT, PAGE_SIZE, WORDS_PER_PAGE,
+};
+use crate::{FaultKind, MapError, MemFault};
+
+/// A 4 KiB page of atomically accessible 8-byte words.
+struct Page {
+    words: [AtomicU64; WORDS_PER_PAGE],
+}
+
+impl Page {
+    fn new_zeroed() -> Box<Page> {
+        // A page is 4 KiB of zero bytes; AtomicU64 is repr(transparent) over
+        // u64 so an all-zero allocation is a valid Page.
+        // SAFETY: `Page` consists solely of `AtomicU64`s, for which the
+        // all-zero bit pattern is a valid value, and `alloc_zeroed` returns
+        // memory with the alignment of `Page`.
+        unsafe {
+            let layout = std::alloc::Layout::new::<Page>();
+            let raw = std::alloc::alloc_zeroed(layout) as *mut Page;
+            if raw.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            Box::from_raw(raw)
+        }
+    }
+}
+
+const FANOUT: usize = 1 << 12;
+
+/// Interior radix node: 4096 child pointers.
+struct Node<C> {
+    children: [AtomicPtr<C>; FANOUT],
+}
+
+impl<C> Node<C> {
+    fn new() -> Box<Node<C>> {
+        // SAFETY: the node is an array of `AtomicPtr`, for which the
+        // all-zero (null) pattern is valid, and the allocation is made with
+        // the node's own layout.
+        unsafe {
+            let layout = std::alloc::Layout::new::<Node<C>>();
+            let raw = std::alloc::alloc_zeroed(layout) as *mut Node<C>;
+            if raw.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            Box::from_raw(raw)
+        }
+    }
+
+    /// Returns the child at `idx`, installing a new one created by `make`
+    /// if none is present. Lock-free; on a lost race the loser's node is
+    /// freed and the winner's returned.
+    fn get_or_install(&self, idx: usize, make: impl FnOnce() -> *mut C) -> *mut C {
+        let slot = &self.children[idx];
+        let cur = slot.load(Ordering::Acquire);
+        if !cur.is_null() {
+            return cur;
+        }
+        let fresh = make();
+        match slot.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => fresh,
+            Err(winner) => {
+                // SAFETY: `fresh` was just created by `make`, never shared,
+                // and lost the race, so we are its only owner.
+                unsafe { drop(Box::from_raw(fresh)) };
+                winner
+            }
+        }
+    }
+
+    fn get(&self, idx: usize) -> *mut C {
+        self.children[idx].load(Ordering::Acquire)
+    }
+}
+
+/// Outcome of a compare-and-swap on a simulated memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The swap happened; the word now holds the new value.
+    Stored,
+    /// The word did not contain the expected value; it holds `actual`.
+    Conflict {
+        /// The value actually observed in the word.
+        actual: u64,
+    },
+}
+
+/// A sparse simulated 64-bit address space.
+///
+/// All word accesses are atomic with acquire/release semantics, so the
+/// structure can be shared freely across threads (`Arc<AddressSpace>`).
+///
+/// # Examples
+///
+/// ```
+/// use dangsan_vmem::{AddressSpace, HEAP_BASE, PAGE_SIZE};
+///
+/// let mem = AddressSpace::new();
+/// mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+/// mem.write_word(HEAP_BASE + 8, 0xdead_beef).unwrap();
+/// assert_eq!(mem.read_word(HEAP_BASE + 8).unwrap(), 0xdead_beef);
+/// ```
+pub struct AddressSpace {
+    root: Box<Node<Node<Node<Page>>>>,
+    mapped_pages: AtomicUsize,
+}
+
+// SAFETY: all interior mutability is through atomics; raw child pointers are
+// only written via CAS and only freed in `Drop` (when `&mut self` guarantees
+// exclusive access).
+unsafe impl Send for AddressSpace {}
+// SAFETY: as above; shared references only perform atomic operations.
+unsafe impl Sync for AddressSpace {}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with nothing mapped.
+    pub fn new() -> Self {
+        AddressSpace {
+            root: Node::new(),
+            mapped_pages: AtomicUsize::new(0),
+        }
+    }
+
+    fn indices(page: u64) -> (usize, usize, usize) {
+        (
+            ((page >> 24) & 0xfff) as usize,
+            ((page >> 12) & 0xfff) as usize,
+            (page & 0xfff) as usize,
+        )
+    }
+
+    fn lookup_page(&self, addr: Addr) -> Option<&Page> {
+        let (i0, i1, i2) = Self::indices(page_of(addr));
+        let l1 = self.root.get(i0);
+        if l1.is_null() {
+            return None;
+        }
+        // SAFETY: non-null children are valid `Node`s installed by
+        // `get_or_install` and never freed while `self` is alive.
+        let l1 = unsafe { &*l1 };
+        let l2 = l1.get(i1);
+        if l2.is_null() {
+            return None;
+        }
+        // SAFETY: as above.
+        let l2 = unsafe { &*l2 };
+        let page = l2.get(i2);
+        if page.is_null() {
+            return None;
+        }
+        // SAFETY: as above; pages are only freed in `Drop`/`unmap`, and
+        // `unmap` requires the caller to guarantee no concurrent access to
+        // the unmapped range (mirroring real munmap semantics).
+        Some(unsafe { &*page })
+    }
+
+    /// Maps `len` bytes starting at `addr` (rounded out to page boundaries),
+    /// zero-filled.
+    ///
+    /// Fails with [`MapError::AlreadyMapped`] if any page in the range is
+    /// already present; already-mapped prefixes are left in place.
+    pub fn map(&self, addr: Addr, len: u64) -> Result<(), MapError> {
+        let (first, last) = range_pages(addr, len)?;
+        for p in first..=last {
+            let (i0, i1, i2) = Self::indices(p);
+            let l1 = self.root.get_or_install(i0, || Box::into_raw(Node::new()));
+            // SAFETY: `get_or_install` returns a valid node owned by the tree.
+            let l1 = unsafe { &*l1 };
+            let l2 = l1.get_or_install(i1, || Box::into_raw(Node::new()));
+            // SAFETY: as above.
+            let l2 = unsafe { &*l2 };
+            let slot = &l2.children[i2];
+            let fresh = Box::into_raw(Page::new_zeroed());
+            match slot.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.mapped_pages.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // SAFETY: `fresh` lost the race and was never shared.
+                    unsafe { drop(Box::from_raw(fresh)) };
+                    return Err(MapError::AlreadyMapped(p << PAGE_SHIFT));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unmaps `len` bytes starting at `addr`. Subsequent accesses fault with
+    /// [`FaultKind::Unmapped`].
+    ///
+    /// Like real `munmap`, racing an unmap against accesses to the same
+    /// range is a program bug; here it is memory-safe (accesses fault or
+    /// succeed) because pages are retired to a quarantine list rather than
+    /// freed immediately.
+    pub fn unmap(&self, addr: Addr, len: u64) -> Result<(), MapError> {
+        let (first, last) = range_pages(addr, len)?;
+        for p in first..=last {
+            let (i0, i1, i2) = Self::indices(p);
+            let l1 = self.root.get(i0);
+            if l1.is_null() {
+                return Err(MapError::NotMapped(p << PAGE_SHIFT));
+            }
+            // SAFETY: non-null children are valid nodes owned by the tree.
+            let l1 = unsafe { &*l1 };
+            let l2 = l1.get(i1);
+            if l2.is_null() {
+                return Err(MapError::NotMapped(p << PAGE_SHIFT));
+            }
+            // SAFETY: as above.
+            let l2 = unsafe { &*l2 };
+            let old = l2.children[i2].swap(ptr::null_mut(), Ordering::AcqRel);
+            if old.is_null() {
+                return Err(MapError::NotMapped(p << PAGE_SHIFT));
+            }
+            // Leak the page instead of freeing it: a concurrent reader that
+            // resolved the pointer just before the swap may still touch it.
+            // The simulation never unmaps enough pages for this to matter,
+            // and it exactly reproduces the "stale TLB entry" window real
+            // hardware has. The count still goes down for accounting.
+            self.mapped_pages.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Returns whether the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        is_canonical_user(addr) && self.lookup_page(addr).is_some()
+    }
+
+    /// Number of currently mapped pages (for resident-memory accounting).
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped_pages.load(Ordering::Relaxed)
+    }
+
+    /// Resident bytes, i.e. mapped pages times the page size.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mapped_pages() as u64 * PAGE_SIZE
+    }
+
+    fn word(&self, addr: Addr) -> Result<&AtomicU64, MemFault> {
+        if !is_canonical_user(addr) {
+            return Err(MemFault {
+                kind: FaultKind::NonCanonical,
+                addr,
+            });
+        }
+        if addr % 8 != 0 {
+            return Err(MemFault {
+                kind: FaultKind::Unaligned,
+                addr,
+            });
+        }
+        let page = self.lookup_page(addr).ok_or(MemFault {
+            kind: FaultKind::Unmapped,
+            addr,
+        })?;
+        Ok(&page.words[word_index(addr)])
+    }
+
+    /// Reads the 8-byte word at `addr` (acquire ordering).
+    pub fn read_word(&self, addr: Addr) -> Result<u64, MemFault> {
+        Ok(self.word(addr)?.load(Ordering::Acquire))
+    }
+
+    /// Writes the 8-byte word at `addr` (release ordering).
+    pub fn write_word(&self, addr: Addr, value: u64) -> Result<(), MemFault> {
+        self.word(addr)?.store(value, Ordering::Release);
+        Ok(())
+    }
+
+    /// Compare-and-swap on the word at `addr`.
+    ///
+    /// This is the primitive `invalptrs` uses so that invalidating an old
+    /// pointer can never clobber a new pointer written concurrently by
+    /// another thread (paper §4.4).
+    pub fn cas_word(&self, addr: Addr, expected: u64, new: u64) -> Result<CasOutcome, MemFault> {
+        match self
+            .word(addr)?
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => Ok(CasOutcome::Stored),
+            Err(actual) => Ok(CasOutcome::Conflict { actual }),
+        }
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&self, addr: Addr) -> Result<u8, MemFault> {
+        let word_addr = addr & !7;
+        let w = self.word(word_addr)?.load(Ordering::Acquire);
+        Ok((w >> ((addr & 7) * 8)) as u8)
+    }
+
+    /// Writes a single byte (CAS loop on the containing word, so concurrent
+    /// writers to other bytes of the same word are preserved).
+    pub fn write_u8(&self, addr: Addr, value: u8) -> Result<(), MemFault> {
+        let word_addr = addr & !7;
+        let shift = (addr & 7) * 8;
+        let word = self.word(word_addr)?;
+        let mut cur = word.load(Ordering::Acquire);
+        loop {
+            let next = (cur & !(0xffu64 << shift)) | ((value as u64) << shift);
+            match word.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` word-wise, used by the
+    /// allocator's `realloc` move path (the simulated `memcpy`).
+    ///
+    /// The ranges must both be 8-byte aligned; `len` is rounded up to a
+    /// multiple of 8. Copying is not atomic as a whole, matching `memcpy`.
+    pub fn copy(&self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
+        let words = len.div_ceil(8);
+        for i in 0..words {
+            let v = self.read_word(src + i * 8)?;
+            self.write_word(dst + i * 8, v)?;
+        }
+        Ok(())
+    }
+
+    /// Zeroes `len` bytes starting at the 8-byte-aligned `addr`.
+    pub fn zero(&self, addr: Addr, len: u64) -> Result<(), MemFault> {
+        let words = len.div_ceil(8);
+        for i in 0..words {
+            self.write_word(addr + i * 8, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (no alignment required).
+    ///
+    /// Byte reads are individually atomic; the span as a whole is not,
+    /// matching ordinary memory semantics.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemFault> {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr` (no alignment required).
+    pub fn write_bytes(&self, addr: Addr, buf: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in buf.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for AddressSpace {
+    fn drop(&mut self) {
+        for c0 in self.root.children.iter() {
+            let l1 = c0.swap(ptr::null_mut(), Ordering::AcqRel);
+            if l1.is_null() {
+                continue;
+            }
+            // SAFETY: `&mut self` in `drop` guarantees exclusive access, so
+            // every non-null child pointer is uniquely owned here.
+            let l1 = unsafe { Box::from_raw(l1) };
+            for c1 in l1.children.iter() {
+                let l2 = c1.swap(ptr::null_mut(), Ordering::AcqRel);
+                if l2.is_null() {
+                    continue;
+                }
+                // SAFETY: as above.
+                let l2 = unsafe { Box::from_raw(l2) };
+                for c2 in l2.children.iter() {
+                    let page = c2.swap(ptr::null_mut(), Ordering::AcqRel);
+                    if !page.is_null() {
+                        // SAFETY: as above.
+                        unsafe { drop(Box::from_raw(page)) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn range_pages(addr: Addr, len: u64) -> Result<(u64, u64), MapError> {
+    if len == 0 {
+        return Err(MapError::BadRange);
+    }
+    let end = addr.checked_add(len - 1).ok_or(MapError::BadRange)?;
+    if !is_canonical_user(addr) || !is_canonical_user(end) {
+        return Err(MapError::BadRange);
+    }
+    Ok((page_of(addr), page_of(end)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{HEAP_BASE, INVALID_BIT};
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mem = AddressSpace::new();
+        let err = mem.read_word(HEAP_BASE).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.addr, HEAP_BASE);
+    }
+
+    #[test]
+    fn non_canonical_access_faults_even_when_backing_exists() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let dangling = HEAP_BASE | INVALID_BIT;
+        let err = mem.read_word(dangling).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NonCanonical);
+        assert_eq!(err.original_addr(), HEAP_BASE);
+    }
+
+    #[test]
+    fn unaligned_word_access_faults() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let err = mem.read_word(HEAP_BASE + 3).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unaligned);
+    }
+
+    #[test]
+    fn map_write_read_roundtrip_across_pages() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 3 * PAGE_SIZE).unwrap();
+        for i in 0..(3 * PAGE_SIZE / 8) {
+            mem.write_word(HEAP_BASE + i * 8, i * 7 + 1).unwrap();
+        }
+        for i in 0..(3 * PAGE_SIZE / 8) {
+            assert_eq!(mem.read_word(HEAP_BASE + i * 8).unwrap(), i * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn pages_start_zeroed() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        assert_eq!(mem.read_word(HEAP_BASE + 128).unwrap(), 0);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        assert_eq!(
+            mem.map(HEAP_BASE, PAGE_SIZE),
+            Err(MapError::AlreadyMapped(HEAP_BASE))
+        );
+    }
+
+    #[test]
+    fn unmap_then_access_faults() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 2 * PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, 42).unwrap();
+        mem.unmap(HEAP_BASE, PAGE_SIZE).unwrap();
+        assert_eq!(
+            mem.read_word(HEAP_BASE).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+        // The second page is untouched.
+        assert_eq!(mem.read_word(HEAP_BASE + PAGE_SIZE).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmap_unmapped_rejected() {
+        let mem = AddressSpace::new();
+        assert_eq!(
+            mem.unmap(HEAP_BASE, PAGE_SIZE),
+            Err(MapError::NotMapped(HEAP_BASE))
+        );
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, 5).unwrap();
+        assert_eq!(mem.cas_word(HEAP_BASE, 5, 9).unwrap(), CasOutcome::Stored);
+        assert_eq!(
+            mem.cas_word(HEAP_BASE, 5, 11).unwrap(),
+            CasOutcome::Conflict { actual: 9 }
+        );
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 9);
+    }
+
+    #[test]
+    fn byte_accesses() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_u8(HEAP_BASE).unwrap(), 0x88);
+        assert_eq!(mem.read_u8(HEAP_BASE + 7).unwrap(), 0x11);
+        mem.write_u8(HEAP_BASE + 7, 0xAB).unwrap();
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 0xAB22_3344_5566_7788);
+    }
+
+    #[test]
+    fn byte_slice_roundtrip_unaligned() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 2 * PAGE_SIZE).unwrap();
+        let msg = b"use-after-free detection";
+        // Unaligned start, crossing a word boundary.
+        mem.write_bytes(HEAP_BASE + 5, msg).unwrap();
+        let mut back = vec![0u8; msg.len()];
+        mem.read_bytes(HEAP_BASE + 5, &mut back).unwrap();
+        assert_eq!(&back, msg);
+        // Crossing a page boundary too.
+        mem.write_bytes(HEAP_BASE + PAGE_SIZE - 3, msg).unwrap();
+        let mut back = vec![0u8; msg.len()];
+        mem.read_bytes(HEAP_BASE + PAGE_SIZE - 3, &mut back)
+            .unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn copy_words() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 2 * PAGE_SIZE).unwrap();
+        for i in 0..16u64 {
+            mem.write_word(HEAP_BASE + i * 8, i + 100).unwrap();
+        }
+        mem.copy(HEAP_BASE, HEAP_BASE + PAGE_SIZE, 16 * 8).unwrap();
+        for i in 0..16u64 {
+            assert_eq!(
+                mem.read_word(HEAP_BASE + PAGE_SIZE + i * 8).unwrap(),
+                i + 100
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_pages() {
+        let mem = AddressSpace::new();
+        assert_eq!(mem.mapped_pages(), 0);
+        mem.map(HEAP_BASE, 5 * PAGE_SIZE).unwrap();
+        assert_eq!(mem.mapped_pages(), 5);
+        assert_eq!(mem.resident_bytes(), 5 * PAGE_SIZE);
+        mem.unmap(HEAP_BASE + PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mem.mapped_pages(), 3);
+    }
+
+    #[test]
+    fn concurrent_mixed_access() {
+        use std::sync::Arc;
+        let mem = Arc::new(AddressSpace::new());
+        mem.map(HEAP_BASE, 16 * PAGE_SIZE).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let mem = Arc::clone(&mem);
+            handles.push(std::thread::spawn(move || {
+                let base = HEAP_BASE + t * 2 * PAGE_SIZE;
+                for i in 0..512u64 {
+                    mem.write_word(base + i * 8, t * 10_000 + i).unwrap();
+                }
+                for i in 0..512u64 {
+                    assert_eq!(mem.read_word(base + i * 8).unwrap(), t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_cas_counter() {
+        use std::sync::Arc;
+        let mem = Arc::new(AddressSpace::new());
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mem = Arc::clone(&mem);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    loop {
+                        let cur = mem.read_word(HEAP_BASE).unwrap();
+                        if let CasOutcome::Stored = mem.cas_word(HEAP_BASE, cur, cur + 1).unwrap() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 4000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the simulated address space.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dangsan_vmem::{AddressSpace, CasOutcome, FaultKind, HEAP_BASE, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary interleavings of word writes over a mapped window read back
+    /// exactly what a reference HashMap model says they should.
+    #[test]
+    fn writes_match_reference_model(ops in proptest::collection::vec((0u64..2048, any::<u64>()), 1..200)) {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 4 * PAGE_SIZE).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (slot, val) in ops {
+            let addr = HEAP_BASE + slot * 8;
+            mem.write_word(addr, val).unwrap();
+            model.insert(addr, val);
+        }
+        for (addr, val) in model {
+            prop_assert_eq!(mem.read_word(addr).unwrap(), val);
+        }
+    }
+
+    /// Byte writes never disturb neighbouring bytes.
+    #[test]
+    fn byte_writes_are_isolated(base_word in any::<u64>(), idx in 0u64..8, b in any::<u8>()) {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, base_word).unwrap();
+        mem.write_u8(HEAP_BASE + idx, b).unwrap();
+        for i in 0..8u64 {
+            let expect = if i == idx { b } else { (base_word >> (i * 8)) as u8 };
+            prop_assert_eq!(mem.read_u8(HEAP_BASE + i).unwrap(), expect);
+        }
+    }
+
+    /// CAS either stores exactly the new value or reports the actual one.
+    #[test]
+    fn cas_is_consistent(initial in any::<u64>(), expected in any::<u64>(), new in any::<u64>()) {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, initial).unwrap();
+        match mem.cas_word(HEAP_BASE, expected, new).unwrap() {
+            CasOutcome::Stored => {
+                prop_assert_eq!(initial, expected);
+                prop_assert_eq!(mem.read_word(HEAP_BASE).unwrap(), new);
+            }
+            CasOutcome::Conflict { actual } => {
+                prop_assert_ne!(initial, expected);
+                prop_assert_eq!(actual, initial);
+                prop_assert_eq!(mem.read_word(HEAP_BASE).unwrap(), initial);
+            }
+        }
+    }
+
+    /// Any access outside mapped pages faults as Unmapped; any bit-63
+    /// address faults as NonCanonical regardless of mapping.
+    #[test]
+    fn fault_kinds(offset_pages in 2u64..1000) {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 2 * PAGE_SIZE).unwrap();
+        let outside = HEAP_BASE + offset_pages * PAGE_SIZE;
+        prop_assert_eq!(mem.read_word(outside).unwrap_err().kind, FaultKind::Unmapped);
+        let poisoned = (HEAP_BASE) | (1 << 63);
+        prop_assert_eq!(mem.read_word(poisoned).unwrap_err().kind, FaultKind::NonCanonical);
+    }
+
+    /// copy() moves arbitrary word blocks faithfully.
+    #[test]
+    fn copy_faithful(words in proptest::collection::vec(any::<u64>(), 1..256)) {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 8 * PAGE_SIZE).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            mem.write_word(HEAP_BASE + i as u64 * 8, *w).unwrap();
+        }
+        let dst = HEAP_BASE + 4 * PAGE_SIZE;
+        mem.copy(HEAP_BASE, dst, words.len() as u64 * 8).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(mem.read_word(dst + i as u64 * 8).unwrap(), *w);
+        }
+    }
+}
+
+/// Concurrent per-thread disjoint writes are all visible afterwards; this is
+/// a smoke test that the radix tree installation path is race-free.
+#[test]
+fn concurrent_first_touch_population() {
+    let mem = Arc::new(AddressSpace::new());
+    // All threads map disjoint page ranges concurrently, forcing racy
+    // interior-node installation.
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let mem = Arc::clone(&mem);
+        handles.push(std::thread::spawn(move || {
+            let base = HEAP_BASE + t * 64 * PAGE_SIZE;
+            mem.map(base, 64 * PAGE_SIZE).unwrap();
+            for p in 0..64u64 {
+                mem.write_word(base + p * PAGE_SIZE, t * 1000 + p).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..8u64 {
+        let base = HEAP_BASE + t * 64 * PAGE_SIZE;
+        for p in 0..64u64 {
+            assert_eq!(mem.read_word(base + p * PAGE_SIZE).unwrap(), t * 1000 + p);
+        }
+    }
+    assert_eq!(mem.mapped_pages(), 8 * 64);
+}

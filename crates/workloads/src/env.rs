@@ -1,0 +1,120 @@
+//! Experiment environments: fresh (memory, heap, detector) triples.
+
+use std::sync::Arc;
+
+use dangsan::{Config, DangSan, Detector, HookedHeap, NullDetector};
+use dangsan_baselines::{DangNull, DangSanLocked, FreeSentry};
+use dangsan_heap::Heap;
+use dangsan_vmem::AddressSpace;
+
+/// Which detector a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorKind {
+    /// Uninstrumented baseline.
+    Baseline,
+    /// DangSan with the given configuration.
+    DangSan(Config),
+    /// DangSan behind a global lock (ablation).
+    DangSanLocked(Config),
+    /// The DangNULL-style comparator.
+    DangNull,
+    /// The FreeSentry-style comparator (single-threaded only).
+    FreeSentry,
+}
+
+impl DetectorKind {
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorKind::Baseline => "baseline",
+            DetectorKind::DangSan(_) => "dangsan",
+            DetectorKind::DangSanLocked(_) => "dangsan-locked",
+            DetectorKind::DangNull => "dangnull",
+            DetectorKind::FreeSentry => "freesentry",
+        }
+    }
+
+    /// Whether the detector supports multithreaded workloads.
+    pub fn thread_safe(&self) -> bool {
+        !matches!(self, DetectorKind::FreeSentry)
+    }
+}
+
+/// A fresh single-threaded environment (any detector kind).
+pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det: Arc<dyn Detector> = match kind {
+        DetectorKind::Baseline => Arc::new(NullDetector),
+        DetectorKind::DangSan(cfg) => DangSan::new(Arc::clone(&mem), cfg),
+        DetectorKind::DangSanLocked(cfg) => DangSanLocked::new(Arc::clone(&mem), cfg),
+        DetectorKind::DangNull => DangNull::new(Arc::clone(&mem)),
+        DetectorKind::FreeSentry => FreeSentry::new(Arc::clone(&mem), Arc::clone(&heap)),
+    };
+    HookedHeap::new(heap, det)
+}
+
+/// A fresh thread-safe environment.
+///
+/// # Panics
+///
+/// Panics for [`DetectorKind::FreeSentry`]: by construction it cannot
+/// satisfy `Send + Sync` (the paper's "cannot support multithreaded
+/// programs" encoded in the type system), so asking for a shared
+/// environment with it is a harness bug.
+pub fn shared_env(kind: DetectorKind) -> HookedHeap<dyn Detector + Send + Sync> {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det: Arc<dyn Detector + Send + Sync> = match kind {
+        DetectorKind::Baseline => Arc::new(NullDetector),
+        DetectorKind::DangSan(cfg) => DangSan::new(Arc::clone(&mem), cfg),
+        DetectorKind::DangSanLocked(cfg) => DangSanLocked::new(Arc::clone(&mem), cfg),
+        DetectorKind::DangNull => DangNull::new(Arc::clone(&mem)),
+        DetectorKind::FreeSentry => {
+            panic!("FreeSentry does not support multithreaded programs")
+        }
+    };
+    HookedHeap::new(heap, det)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_a_local_env() {
+        for kind in [
+            DetectorKind::Baseline,
+            DetectorKind::DangSan(Config::default()),
+            DetectorKind::DangSanLocked(Config::default()),
+            DetectorKind::DangNull,
+            DetectorKind::FreeSentry,
+        ] {
+            let hh = local_env(kind);
+            let a = hh.malloc(32).unwrap();
+            hh.free(a.base).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_env_works_for_thread_safe_kinds() {
+        for kind in [
+            DetectorKind::Baseline,
+            DetectorKind::DangSan(Config::default()),
+            DetectorKind::DangSanLocked(Config::default()),
+            DetectorKind::DangNull,
+        ] {
+            assert!(kind.thread_safe());
+            let hh = shared_env(kind);
+            let a = hh.malloc(32).unwrap();
+            hh.free(a.base).unwrap();
+        }
+        assert!(!DetectorKind::FreeSentry.thread_safe());
+    }
+
+    #[test]
+    #[should_panic(expected = "multithreaded")]
+    fn shared_env_rejects_freesentry() {
+        let _ = shared_env(DetectorKind::FreeSentry);
+    }
+}

@@ -1,0 +1,304 @@
+//! The SPEC CPU2006-shaped single-threaded workload generator.
+//!
+//! One run replays a benchmark's pointer-tracking profile (see
+//! [`crate::profiles`]): objects are allocated and freed with the
+//! benchmark's lifetime pattern, pointers to them are stored into heap
+//! slots, simulated stack slots and globals in the benchmark's mix, and
+//! each store is followed by the calibrated amount of plain compute. The
+//! same seed produces the identical operation sequence for every detector,
+//! so run-time ratios are apples-to-apples.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dangsan::{Detector, HookedHeap, StatsSnapshot};
+use dangsan_vmem::{Addr, BumpSegment, GLOBALS_BASE, STACKS_BASE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::spin;
+use crate::profiles::SpecProfile;
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub name: String,
+    /// Detector label.
+    pub detector: String,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Pointer stores issued.
+    pub stores: u64,
+    /// Detector statistics at the end.
+    pub stats: StatsSnapshot,
+    /// Simulated heap resident bytes (peak = final; the heap never
+    /// shrinks, like tcmalloc).
+    pub heap_resident: u64,
+    /// Detector metadata bytes.
+    pub metadata_bytes: u64,
+}
+
+impl RunResult {
+    /// Total memory footprint (program + detector), for Figure 11/12.
+    pub fn total_memory(&self) -> u64 {
+        self.heap_resident + self.metadata_bytes
+    }
+}
+
+/// Number of heap pointer slots the workload cycles through.
+const HEAP_SLOTS: u64 = 4096;
+const STACK_SLOTS: u64 = 512;
+const GLOBAL_SLOTS: u64 = 512;
+
+/// Runs the SPEC-shaped workload for `profile` on `hh`.
+///
+/// `scale` divides the paper's Table 1 counts (20 000 ≈ seconds-long
+/// figure runs); `compute_per_store` is the calibrated busy-work between
+/// stores; `seed` fixes the operation sequence.
+pub fn run_spec<D: Detector + ?Sized>(
+    profile: &SpecProfile,
+    scale: u64,
+    compute_per_store: u32,
+    hh: &HookedHeap<D>,
+    seed: u64,
+) -> RunResult {
+    let s = profile.scaled(scale);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Location arenas. Globals and a "stack" segment come from the
+    // simulated address space directly; heap slots from a slab object.
+    let mem = Arc::clone(hh.mem());
+    let _globals = BumpSegment::map(Arc::clone(&mem), GLOBALS_BASE, GLOBAL_SLOTS * 8 + 4096)
+        .expect("fresh env");
+    let mut stack =
+        BumpSegment::map(Arc::clone(&mem), STACKS_BASE, STACK_SLOTS * 8 + 4096).expect("fresh env");
+    let stack_base = stack.alloc(STACK_SLOTS * 8).expect("fits");
+    let slab = hh.malloc(HEAP_SLOTS * 8).expect("slab");
+
+    // Live object ring. Hot objects (the front few) receive a large share
+    // of stores, which is what drives hash-table fallback in benchmarks
+    // like omnetpp and milc.
+    let live_cap = (s.objs / 4).clamp(8, 4096) as usize;
+    let mut live: Vec<(Addr, u64)> = Vec::with_capacity(live_cap);
+    // The fraction of objects that spill into hash tables (Table 1's
+    // #hashtable/#obj) is reproduced by concentrating non-duplicate
+    // stores on a "hot" prefix of the live set sized by that fraction.
+    let hot_prob = if s.hash_frac > 0.001 { 0.85 } else { 0.10 };
+    let hot_set = ((live_cap as f64 * s.hash_frac).ceil() as usize).clamp(4, 2048);
+    let stores_per_obj = s.stores / s.objs.max(1);
+
+    let mut last_loc: Addr = slab.base;
+    let mut last_value: Addr = 0;
+    let mut spin_acc = 0u64;
+    let mut stores_done = 0u64;
+
+    // Location chooser for non-duplicate stores. The duplicate case —
+    // "loops with a pointer iterator variable" (§4.4) re-storing the same
+    // pointer to the same location — is handled by the caller, because a
+    // true duplicate repeats both the location and the value.
+    let pick_loc = |rng: &mut SmallRng, last_loc: Addr| -> Addr {
+        let r: f64 = rng.gen();
+        if r < profile.nonheap_loc_frac {
+            // Stack or global location (DangNULL cannot see these).
+            if rng.gen_bool(0.5) {
+                stack_base + rng.gen_range(0..STACK_SLOTS) * 8
+            } else {
+                GLOBALS_BASE + rng.gen_range(0..GLOBAL_SLOTS) * 8
+            }
+        } else if rng.gen_bool(0.5) {
+            // Spatial locality: the next slot over (compression fodder).
+            let next = last_loc + 8;
+            if next < slab.base + HEAP_SLOTS * 8 && next >= slab.base {
+                next
+            } else {
+                slab.base + rng.gen_range(0..HEAP_SLOTS) * 8
+            }
+        } else {
+            slab.base + rng.gen_range(0..HEAP_SLOTS) * 8
+        }
+    };
+
+    let start = Instant::now();
+    for obj_i in 0..s.objs {
+        // Allocation, with benchmark-typical sizes (log-uniform).
+        let (lo, hi) = profile.alloc_size;
+        let size = if lo >= hi {
+            lo
+        } else {
+            let llo = (lo as f64).ln();
+            let lhi = (hi as f64).ln();
+            rng.gen_range(llo..lhi).exp() as u64
+        };
+        if live.len() == live_cap {
+            // Free the oldest object — its still-live pointers get
+            // invalidated (inval) and overwritten slots show up stale.
+            let (base, _) = live.remove(rng.gen_range(0..live.len() / 2 + 1));
+            hh.free(base).expect("valid free");
+        }
+        let a = hh.malloc(size).expect("alloc");
+        live.push((a.base, size));
+
+        // Pointer stores attributed to this allocation step.
+        for _ in 0..stores_per_obj {
+            let (loc, value) = if last_value != 0 && rng.gen::<f64>() < s.dup_frac {
+                // True duplicate: the same pointer re-stored to the same
+                // location (the lookback's target pattern).
+                (last_loc, last_value)
+            } else {
+                let (target_base, target_size) = if rng.gen_bool(hot_prob) && !live.is_empty() {
+                    live[rng.gen_range(0..live.len().min(hot_set))]
+                } else {
+                    live[rng.gen_range(0..live.len())]
+                };
+                let value = target_base + rng.gen_range(0..=target_size.min(256));
+                (pick_loc(&mut rng, last_loc), value)
+            };
+            hh.store_ptr(loc, value).expect("store");
+            last_loc = loc;
+            last_value = value;
+            stores_done += 1;
+            spin_acc ^= spin(compute_per_store, stores_done);
+        }
+        let _ = obj_i;
+    }
+    // Remaining stores beyond the per-object quota.
+    while stores_done < s.stores {
+        let (loc, value) = if last_value != 0 && rng.gen::<f64>() < s.dup_frac {
+            (last_loc, last_value)
+        } else {
+            let (target_base, target_size) = live[rng.gen_range(0..live.len())];
+            let value = target_base + rng.gen_range(0..=target_size.min(256));
+            (pick_loc(&mut rng, last_loc), value)
+        };
+        hh.store_ptr(loc, value).expect("store");
+        last_loc = loc;
+        last_value = value;
+        stores_done += 1;
+        spin_acc ^= spin(compute_per_store, stores_done);
+    }
+    // Sample memory while the working set is live (the paper reports RSS
+    // during the run, not after teardown).
+    let heap_resident = hh.heap().resident_bytes();
+    let metadata_bytes = hh.detector().metadata_bytes();
+    // Tear down: free everything (each free runs invalidation).
+    for (base, _) in live.drain(..) {
+        hh.free(base).expect("valid free");
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(spin_acc);
+
+    RunResult {
+        name: profile.name.to_string(),
+        detector: hh.detector().name().to_string(),
+        elapsed,
+        stores: stores_done,
+        stats: hh.detector().stats(),
+        heap_resident,
+        metadata_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{local_env, DetectorKind};
+    use crate::profiles::SPEC;
+    use dangsan::Config;
+
+    fn profile(name: &str) -> &'static SpecProfile {
+        SPEC.iter().find(|p| p.name == name).unwrap()
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_op_counts() {
+        let p = profile("445.gobmk");
+        let a = {
+            let hh = local_env(DetectorKind::DangSan(Config::default()));
+            run_spec(p, 500_000, 0, &hh, 7)
+        };
+        let b = {
+            let hh = local_env(DetectorKind::DangSan(Config::default()));
+            run_spec(p, 500_000, 0, &hh, 7)
+        };
+        assert_eq!(a.stores, b.stores);
+        assert_eq!(a.stats, b.stats, "same seed, same detector history");
+    }
+
+    #[test]
+    fn dangsan_tracks_more_than_dangnull_on_every_benchmark() {
+        // Table 1's headline: DangSan invalidates orders of magnitude more
+        // pointers because DangNULL misses non-heap locations.
+        for name in ["400.perlbench", "403.gcc", "483.xalancbmk"] {
+            let p = profile(name);
+            let ds = {
+                let hh = local_env(DetectorKind::DangSan(Config::default()));
+                run_spec(p, 2_000_000, 0, &hh, 11)
+            };
+            let dn = {
+                let hh = local_env(DetectorKind::DangNull);
+                run_spec(p, 2_000_000, 0, &hh, 11)
+            };
+            assert!(
+                ds.stats.ptrs_registered > dn.stats.ptrs_registered,
+                "{name}: DangSan {} <= DangNULL {}",
+                ds.stats.ptrs_registered,
+                dn.stats.ptrs_registered
+            );
+            assert!(
+                ds.stats.ptrs_invalidated >= dn.stats.ptrs_invalidated,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_profiles_produce_duplicates() {
+        // mcf: dup/ptrs ≈ 0.99 in Table 1.
+        let p = profile("429.mcf");
+        let hh = local_env(DetectorKind::DangSan(Config::default()));
+        let r = run_spec(p, 2_000_000, 0, &hh, 3);
+        assert!(
+            r.stats.dup_ptrs as f64 >= 0.5 * r.stats.ptrs_registered as f64,
+            "dup {} vs ptrs {}",
+            r.stats.dup_ptrs,
+            r.stats.ptrs_registered
+        );
+    }
+
+    #[test]
+    fn hash_heavy_profile_allocates_hash_tables() {
+        // milc: nearly every object ends up with a hash table.
+        let p = profile("433.milc");
+        let hh = local_env(DetectorKind::DangSan(Config::default()));
+        let r = run_spec(p, 20_000, 0, &hh, 3);
+        assert!(r.stats.hashtables > 0, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn all_profiles_run_quickly_at_high_scale() {
+        for p in SPEC {
+            let hh = local_env(DetectorKind::DangSan(Config::default()));
+            let r = run_spec(p, 5_000_000, 0, &hh, 1);
+            assert!(r.stores >= 64, "{}", p.name);
+            assert!(r.stats.objects_freed > 0 || r.stats.objects_allocated < 32);
+        }
+    }
+
+    #[test]
+    fn memory_overhead_ranks_match_figure11_shape() {
+        // omnetpp must dwarf bzip2 in relative metadata footprint.
+        let run = |name: &str| {
+            let p = profile(name);
+            let hh = local_env(DetectorKind::DangSan(Config::default()));
+            let r = run_spec(p, 500_000, 0, &hh, 5);
+            r.total_memory() as f64 / r.heap_resident.max(1) as f64
+        };
+        let omnetpp = run("471.omnetpp");
+        let bzip2 = run("401.bzip2");
+        assert!(
+            omnetpp > bzip2 * 1.5,
+            "omnetpp {omnetpp:.2}x should exceed bzip2 {bzip2:.2}x"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The compiler half of DangSan: build a buggy program in the mini-IR, run
+//! the pointer-tracker pass (naive and optimized, §6), and execute it.
+//!
+//! Run with: `cargo run --example instrumented_program`
+
+use std::sync::Arc;
+
+use dangsan_suite::dangsan::{Config, DangSan, Detector, HookedHeap};
+use dangsan_suite::heap::Heap;
+use dangsan_suite::instr::builder::FunctionBuilder;
+use dangsan_suite::instr::ir::{BinOp, Operand, Program};
+use dangsan_suite::instr::{instrument, Machine, PassOptions, Trap};
+use dangsan_suite::vmem::AddressSpace;
+
+/// A linked-list program with a use-after-free: the list head is freed,
+/// then traversed through a pointer kept in a "registry" slot.
+fn buggy_program() -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    let registry = fb.malloc(Operand::Imm(8));
+    let head = fb.malloc(Operand::Imm(16));
+    fb.store_i64(head, 8, Operand::Imm(1234)); // head->value
+    fb.store_ptr(registry, 0, head); // registry keeps a pointer
+
+    // A loop that repeatedly re-stores the head pointer (hoisting fodder).
+    let i = fb.iconst(0);
+    let (header, body, exit) = (fb.new_block(), fb.new_block(), fb.new_block());
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(100));
+    fb.branch(Operand::Reg(c), body, exit);
+    fb.switch_to(body);
+    fb.store_ptr(registry, 0, head);
+    fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.jump(header);
+    fb.switch_to(exit);
+
+    fb.free(head); // the bug: head freed while registered
+    let stale = fb.load_ptr(registry, 0);
+    let v = fb.load_i64(stale, 8); // use-after-free read
+    fb.ret(Some(Operand::Reg(v)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+fn run(opts: PassOptions) {
+    let prog = buggy_program();
+    let (instrumented, report) = instrument(&prog, opts);
+    println!(
+        "  pass: {} pointer stores, {} inline registrations, {} hoisted, {} elided",
+        report.pointer_stores, report.inline_registrations, report.hoisted, report.elided
+    );
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), Config::default());
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    let mut machine = Machine::new(hh, 0);
+    let main = instrumented.func_by_name("main").unwrap();
+    match machine.run(&instrumented, main, &[]) {
+        Err(Trap::UseAfterFree(addr)) => {
+            println!("  execution: use-after-free DETECTED at {addr:#x}");
+        }
+        other => println!("  execution: {other:?}"),
+    }
+    let s = det.stats();
+    println!(
+        "  dynamic: {} registrations ({} duplicates suppressed), {} invalidated\n",
+        s.ptrs_registered, s.dup_ptrs, s.ptrs_invalidated
+    );
+}
+
+fn main() {
+    println!("naive instrumentation (a registerptr after every pointer store):");
+    run(PassOptions::naive());
+    println!("optimized instrumentation (§6: loop hoisting + pointer-arithmetic elision):");
+    run(PassOptions::optimized());
+    println!(
+        "Both variants detect the bug; the optimized pass executes far fewer\n\
+         registrations (the hoisted loop registers once instead of 100 times)."
+    );
+}

@@ -1,0 +1,41 @@
+//! A multithreaded "web server" protected by DangSan — the scenario that
+//! motivates the paper: FreeSentry cannot run this at all (it is `!Sync`,
+//! which in this reproduction is a compile error), DangNULL can but pays a
+//! global lock per pointer store, and DangSan runs it lock-free.
+//!
+//! Run with: `cargo run --release --example multithreaded_server`
+
+use dangsan_suite::dangsan::Config;
+use dangsan_suite::workloads::env::{shared_env, DetectorKind};
+use dangsan_suite::workloads::profiles::SERVERS;
+use dangsan_suite::workloads::server::run_server;
+
+fn main() {
+    let nginx = &SERVERS[1];
+    let requests = 10_000;
+    println!(
+        "serving {requests} requests with {} workers (nginx-shaped workload)\n",
+        nginx.workers
+    );
+    for kind in [
+        DetectorKind::Baseline,
+        DetectorKind::DangSan(Config::default()),
+        DetectorKind::DangSanLocked(Config::default()),
+        DetectorKind::DangNull,
+    ] {
+        let hh = shared_env(kind);
+        let r = run_server(nginx, requests, 0, &hh, 7);
+        println!(
+            "{:<16} {:>10.0} req/s   metadata {:>8} KiB   invalidated {:>8} ptrs",
+            kind.label(),
+            r.rps,
+            r.metadata_bytes / 1024,
+            hh.detector().stats().ptrs_invalidated,
+        );
+    }
+    println!(
+        "\nFreeSentry is absent by construction: `shared_env(DetectorKind::FreeSentry)`\n\
+         panics because the type `FreeSentry` is !Sync — the paper's\n\
+         \"cannot support multithreaded programs\" enforced by the compiler."
+    );
+}

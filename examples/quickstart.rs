@@ -1,0 +1,55 @@
+//! Quickstart: protect a tiny "program" with DangSan and watch a
+//! use-after-free get neutralised.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use dangsan_suite::dangsan::{Config, DangSan, Detector, HookedHeap};
+use dangsan_suite::heap::Heap;
+use dangsan_suite::vmem::{AddressSpace, FaultKind};
+
+fn main() {
+    // 1. Build the stack: simulated memory, tcmalloc-style heap, detector.
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let detector = DangSan::new(Arc::clone(&mem), Config::default());
+    let hh = HookedHeap::new(heap, Arc::clone(&detector));
+
+    // 2. A program with a dangling-pointer bug: a cache keeps a pointer to
+    //    an entry that gets freed.
+    let entry = hh.malloc(64).expect("alloc entry");
+    let cache = hh.malloc(8).expect("alloc cache slot");
+    hh.store_ptr(cache.base, entry.base)
+        .expect("cache the entry");
+    println!("cached pointer:      {:#x}", hh.load(cache.base).unwrap());
+
+    // 3. The entry is freed; DangSan invalidates every tracked pointer.
+    let report = hh.free(entry.base).expect("free entry");
+    println!(
+        "free invalidated {} pointer(s), {} stale, {} skipped",
+        report.invalidated, report.stale, report.skipped_unmapped
+    );
+
+    // 4. The dangling pointer now has its top bit set (non-canonical)...
+    let dangling = hh.load(cache.base).unwrap();
+    println!("pointer after free:  {dangling:#x}");
+
+    // 5. ...so dereferencing it traps instead of reading reused memory.
+    match hh.load(dangling) {
+        Err(fault) if fault.kind == FaultKind::NonCanonical => {
+            println!(
+                "use-after-free DETECTED: fault at {:#x} (original object {:#x})",
+                fault.addr,
+                fault.original_addr()
+            );
+        }
+        other => panic!("expected a trap, got {other:?}"),
+    }
+
+    let stats = detector.stats();
+    println!(
+        "\ndetector stats: {} object(s) tracked, {} pointer(s) registered, {} invalidated",
+        stats.objects_allocated, stats.ptrs_registered, stats.ptrs_invalidated
+    );
+}

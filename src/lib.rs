@@ -1,0 +1,14 @@
+//! Facade crate for the DangSan reproduction workspace.
+//!
+//! Re-exports every layer of the system so that integration tests and the
+//! runnable examples under `examples/` can reach the whole stack through a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module mapping.
+
+pub use dangsan;
+pub use dangsan_baselines as baselines;
+pub use dangsan_heap as heap;
+pub use dangsan_instr as instr;
+pub use dangsan_shadow as shadow;
+pub use dangsan_vmem as vmem;
+pub use dangsan_workloads as workloads;

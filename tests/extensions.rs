@@ -1,0 +1,90 @@
+//! Tests for the optional extensions the paper sketches but does not
+//! implement (§7), available behind `Config` flags.
+
+use std::sync::Arc;
+
+use dangsan_suite::dangsan::{Config, DangSan, HookedHeap};
+use dangsan_suite::heap::Heap;
+use dangsan_suite::vmem::{AddressSpace, INVALID_BIT};
+
+fn setup(cfg: Config) -> HookedHeap<DangSan> {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), cfg);
+    HookedHeap::new(heap, det)
+}
+
+/// With the §7 memcpy hook enabled, the realloc-move false negative that
+/// `tests/limitations.rs` pins down disappears: the copied pointer is
+/// re-registered at its new location and gets invalidated.
+#[test]
+fn memcpy_hook_closes_the_realloc_move_gap() {
+    let hh = setup(Config::default().with_memcpy_hook(true));
+    let target = hh.malloc(64).unwrap();
+    let buf = hh.malloc(16).unwrap();
+    hh.store_ptr(buf.base, target.base).unwrap();
+    let (buf2, _) = hh.realloc(buf.base, 50_000).unwrap();
+    assert_ne!(buf2.base, buf.base);
+    let report = hh.free(target.base).unwrap();
+    assert!(report.invalidated >= 1, "copied pointer now visible");
+    assert_eq!(
+        hh.load(buf2.base).unwrap(),
+        target.base | INVALID_BIT,
+        "the moved copy was neutralised"
+    );
+    hh.free(buf2.base).unwrap();
+}
+
+/// The explicit `memcpy` API re-registers pointers inside arbitrary
+/// copied buffers (e.g. a struct containing pointers moved by value).
+#[test]
+fn explicit_memcpy_retracks_pointer_fields() {
+    let hh = setup(Config::default().with_memcpy_hook(true));
+    let target = hh.malloc(64).unwrap();
+    let src = hh.malloc(32).unwrap();
+    let dst = hh.malloc(32).unwrap();
+    hh.store_ptr(src.base + 8, target.base + 4).unwrap();
+    hh.store_untracked(src.base + 16, 1234).unwrap();
+    hh.memcpy(src.base, dst.base, 32).unwrap();
+    let r = hh.free(target.base).unwrap();
+    // Both the original and the copied location are invalidated; the
+    // integer field is untouched.
+    assert_eq!(r.invalidated, 2);
+    assert_eq!(hh.load(dst.base + 16).unwrap(), 1234);
+    assert_eq!(
+        hh.load(dst.base + 8).unwrap(),
+        (target.base + 4) | INVALID_BIT
+    );
+}
+
+/// With the hook disabled (the paper's configuration), explicit memcpy
+/// behaves like the real function: bits move, tracking does not.
+#[test]
+fn memcpy_without_hook_is_a_plain_copy() {
+    let hh = setup(Config::default());
+    let target = hh.malloc(64).unwrap();
+    let src = hh.malloc(32).unwrap();
+    let dst = hh.malloc(32).unwrap();
+    hh.store_ptr(src.base, target.base).unwrap();
+    hh.memcpy(src.base, dst.base, 32).unwrap();
+    let r = hh.free(target.base).unwrap();
+    assert_eq!(r.invalidated, 1, "only the original location");
+    assert_eq!(hh.load(dst.base).unwrap(), target.base, "copy dangles");
+}
+
+/// The hook's false-positive caveat the paper mentions: an integer that
+/// looks like a pointer inside a copied buffer gets registered — and is
+/// then "invalidated" at free time (harmlessly flipping its top bit).
+/// This is why the paper was hesitant; the extension accepts the risk.
+#[test]
+fn memcpy_hook_registers_pointer_looking_integers() {
+    let hh = setup(Config::default().with_memcpy_hook(true));
+    let target = hh.malloc(64).unwrap();
+    let src = hh.malloc(16).unwrap();
+    let dst = hh.malloc(16).unwrap();
+    // An integer that happens to equal the object's address.
+    hh.store_untracked(src.base, target.base).unwrap();
+    hh.memcpy(src.base, dst.base, 16).unwrap();
+    let r = hh.free(target.base).unwrap();
+    assert_eq!(r.invalidated, 1, "the integer was treated as a pointer");
+}

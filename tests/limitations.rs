@@ -1,0 +1,125 @@
+//! Pins down the paper's §7 limitations: cases DangSan deliberately does
+//! not catch. These tests document the boundary of the design — if one of
+//! them starts failing, the reproduction has drifted from the paper.
+
+use std::sync::Arc;
+
+use dangsan_suite::dangsan::{Config, DangSan, HookedHeap};
+use dangsan_suite::heap::Heap;
+use dangsan_suite::vmem::{AddressSpace, INVALID_BIT};
+
+fn setup() -> (Arc<AddressSpace>, HookedHeap<DangSan>) {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), Config::default());
+    (mem, HookedHeap::new(heap, det))
+}
+
+/// §7: "DangSan is unable to track pointers that are copied in a
+/// type-unsafe way... the memcpy internally used by realloc" — a pointer
+/// *inside* a moved buffer is not re-registered at its new location.
+#[test]
+fn realloc_move_loses_interior_pointer_tracking() {
+    let (_, hh) = setup();
+    let target = hh.malloc(64).unwrap();
+    let buf = hh.malloc(16).unwrap();
+    // The buffer holds a pointer to the target (registered at buf.base).
+    hh.store_ptr(buf.base, target.base).unwrap();
+    // Grow the buffer so it moves: the pointer bits are memcpy'd to the
+    // new location without a registerptr call.
+    let (buf2, _) = hh.realloc(buf.base, 50_000).unwrap();
+    assert_ne!(buf2.base, buf.base);
+    assert_eq!(hh.load(buf2.base).unwrap(), target.base, "bits copied");
+    // Freeing the target cannot find the new location — the copied
+    // pointer survives as a dangling pointer (the §7 false negative). The
+    // *old* location may still be invalidated (it is registered and its
+    // freed-but-mapped memory still holds the bits), which is harmless.
+    let report = hh.free(target.base).unwrap();
+    assert!(report.invalidated <= 1, "only the stale old location");
+    let dangling = hh.load(buf2.base).unwrap();
+    assert_eq!(dangling, target.base, "still dangling, NOT invalidated");
+    hh.free(buf2.base).unwrap();
+}
+
+/// §7: pointers that live only in registers are not tracked. In the
+/// reproduction, a "register" is any value the program keeps without
+/// storing it to memory.
+#[test]
+fn register_resident_pointer_is_missed() {
+    let (_, hh) = setup();
+    let obj = hh.malloc(32).unwrap();
+    let in_register = obj.base; // never stored, never registered
+    let report = hh.free(obj.base).unwrap();
+    assert_eq!(report.invalidated, 0);
+    // The program can still (incorrectly but silently) use the register
+    // value; nothing in memory was there to invalidate.
+    assert!(hh.load(in_register).is_ok());
+}
+
+/// §7/§4.4: an integer that happens to equal a tracked pointer value and
+/// sits at a previously registered location IS invalidated — the paper
+/// argues this is vanishingly rare on 64-bit and not a practical concern,
+/// but the mechanism behaves exactly this way.
+#[test]
+fn integer_aliasing_a_pointer_value_is_invalidated() {
+    let (_, hh) = setup();
+    let obj = hh.malloc(32).unwrap();
+    let slot = hh.malloc(8).unwrap();
+    hh.store_ptr(slot.base, obj.base).unwrap();
+    // A "type-unsafe" overwrite stores an integer with the same value.
+    hh.store_untracked(slot.base, obj.base).unwrap();
+    let r = hh.free(obj.base).unwrap();
+    assert_eq!(r.invalidated, 1, "value check cannot tell ints from ptrs");
+    assert_eq!(hh.load(slot.base).unwrap(), obj.base | INVALID_BIT);
+}
+
+/// §4.4: locations whose memory has been returned (simulated SIGSEGV on
+/// read) are skipped rather than crashing the detector.
+#[test]
+fn unmapped_location_is_skipped_not_fatal() {
+    let (mem, hh) = setup();
+    let obj = hh.malloc(32).unwrap();
+    let page = dangsan_suite::vmem::STACKS_BASE;
+    mem.map(page, dangsan_suite::vmem::PAGE_SIZE).unwrap();
+    hh.store_ptr(page + 8, obj.base).unwrap();
+    mem.unmap(page, dangsan_suite::vmem::PAGE_SIZE).unwrap();
+    let r = hh.free(obj.base).unwrap();
+    assert_eq!(r.skipped_unmapped, 1);
+    assert_eq!(r.invalidated, 0);
+}
+
+/// §4.4: invalidation sets a bit rather than nullifying, so programs that
+/// compute the *difference* of two stale pointers (soplex-style rebasing)
+/// keep working.
+#[test]
+fn stale_pointer_arithmetic_still_works_after_invalidation() {
+    let (_, hh) = setup();
+    let obj = hh.malloc(256).unwrap();
+    let a_slot = hh.malloc(16).unwrap();
+    hh.store_ptr(a_slot.base, obj.base + 16).unwrap();
+    hh.store_ptr(a_slot.base + 8, obj.base + 80).unwrap();
+    hh.free(obj.base).unwrap();
+    let p1 = hh.load(a_slot.base).unwrap();
+    let p2 = hh.load(a_slot.base + 8).unwrap();
+    assert_ne!(p1 & INVALID_BIT, 0);
+    assert_ne!(p2 & INVALID_BIT, 0);
+    // The difference of two invalidated pointers is still correct because
+    // both carry the same flipped bit (impossible with DangNULL's fixed
+    // poison value).
+    assert_eq!(p2.wrapping_sub(p1), 64);
+}
+
+/// §4.4: the out-of-bounds-by-one pointer is covered by the +1 allocation
+/// guard; a pointer further out is (correctly) treated as another object.
+#[test]
+fn guard_byte_boundary_semantics() {
+    let (_, hh) = setup();
+    let a = hh.malloc(16).unwrap();
+    let slot = hh.malloc(16).unwrap();
+    hh.store_ptr(slot.base, a.base + 16).unwrap(); // one past the end: ok
+    hh.store_ptr(slot.base + 8, a.base + a.stride).unwrap(); // next object's slot
+    let r = hh.free(a.base).unwrap();
+    // The one-past-end pointer is invalidated; the far-out-of-bounds one
+    // is not attributed to `a`.
+    assert_eq!(r.invalidated, 1);
+}
