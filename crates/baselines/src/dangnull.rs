@@ -25,7 +25,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use dangsan::{Detector, InvalidationReport, Stats, StatsSnapshot};
+use dangsan::{Detector, Hot, InvalidationReport, Stats, StatsSnapshot};
 use dangsan_heap::Allocation;
 use dangsan_vmem::{Addr, AddressSpace, INVALID_BIT};
 // The original locks with pthread mutexes; `std::sync::Mutex` (a futex/
@@ -202,7 +202,7 @@ impl Detector for DangNull {
             .expect("object just found")
             .incoming
             .insert(loc);
-        Stats::bump(&self.stats.ptrs_registered);
+        self.stats.bump_hot(Hot::PtrsRegistered);
         if fresh {
             self.account(EDGE_COST);
         }

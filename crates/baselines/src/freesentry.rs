@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dangsan::{Detector, InvalidationReport, Stats, StatsSnapshot};
+use dangsan::{Detector, Hot, InvalidationReport, Stats, StatsSnapshot};
 use dangsan_heap::{Allocation, Heap};
 use dangsan_vmem::{Addr, AddressSpace, INVALID_BIT};
 
@@ -159,7 +159,7 @@ impl Detector for FreeSentry {
                 .push(loc);
             st.meta_bytes += EDGE_COST;
         }
-        Stats::bump(&self.stats.ptrs_registered);
+        self.stats.bump_hot(Hot::PtrsRegistered);
     }
 
     fn stats(&self) -> StatsSnapshot {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use dangsan::{Config, DangSan, Detector, InvalidationReport, StatsSnapshot};
 use dangsan_heap::Allocation;
 use dangsan_vmem::{Addr, AddressSpace};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// DangSan behind a global lock (scalability ablation).
 pub struct DangSanLocked {
@@ -36,22 +36,22 @@ impl Detector for DangSanLocked {
     }
 
     fn on_alloc(&self, alloc: &Allocation) {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().expect("not poisoned");
         self.inner.on_alloc(alloc);
     }
 
     fn on_free(&self, base: Addr) -> InvalidationReport {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().expect("not poisoned");
         self.inner.on_free(base)
     }
 
     fn on_realloc_in_place(&self, base: Addr, new_size: u64) {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().expect("not poisoned");
         self.inner.on_realloc_in_place(base, new_size);
     }
 
     fn register_ptr(&self, loc: Addr, value: u64) {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().expect("not poisoned");
         self.inner.register_ptr(loc, value);
     }
 

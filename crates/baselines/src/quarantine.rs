@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use dangsan_heap::{AllocError, Allocation, FreeInfo, Heap};
 use dangsan_vmem::Addr;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A heap whose `free` parks objects in a quarantine instead of releasing
 /// them, releasing the oldest entry once the quarantine is full.
@@ -55,7 +55,7 @@ impl QuarantineHeap {
     pub fn free(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
         // Validate that this is a live object without releasing it.
         let info = self.heap.resolve_free(addr)?;
-        let mut q = self.quarantine.lock();
+        let mut q = self.quarantine.lock().expect("not poisoned");
         if q.contains(&addr) {
             return Err(AllocError::DoubleFree(addr));
         }
@@ -70,12 +70,12 @@ impl QuarantineHeap {
 
     /// Number of objects currently parked.
     pub fn quarantined(&self) -> usize {
-        self.quarantine.lock().len()
+        self.quarantine.lock().expect("not poisoned").len()
     }
 
     /// Releases everything (process teardown).
     pub fn drain(&self) -> Result<(), AllocError> {
-        let drained: Vec<Addr> = self.quarantine.lock().drain(..).collect();
+        let drained: Vec<Addr> = self.quarantine.lock().expect("not poisoned").drain(..).collect();
         for a in drained {
             self.heap.free(a)?;
         }

@@ -1,0 +1,5 @@
+//! See `dangsan_bench::experiments::cache_rates`.
+
+fn main() {
+    print!("{}", dangsan_bench::experiments::cache_rates());
+}

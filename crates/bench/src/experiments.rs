@@ -649,3 +649,71 @@ pub fn ablations() -> String {
     ));
     out
 }
+
+/// Hot-path cache effectiveness: hit rates of the three per-thread
+/// caches (software TLB, ptr2obj page cache, last-object log cache +
+/// registration memo) across the SPEC profiles. The companion to the
+/// `hotpath` binary's throughput numbers — throughput says what the
+/// fast paths buy, this says how often each one actually fires.
+pub fn cache_rates() -> String {
+    let scale = spec_scale();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Hot-path cache effectiveness == (DangSan defaults, scale 1/{scale})\n\n"
+    ));
+    let rate = |h: u64, m: u64| -> String {
+        let total = h + m;
+        if total == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * h as f64 / total as f64)
+        }
+    };
+    let mut table = Table::new(&[
+        "benchmark",
+        "tlb hit",
+        "ptr2obj hit",
+        "log-cache hit",
+        "#ptrs",
+    ]);
+    let mut tot = [0u64; 6];
+    let mut ptrs = 0u64;
+    for p in SPEC {
+        let pscale = scale.min((p.ptrs / 500_000).max(1));
+        let (_, s, _, _) = spec_seconds(DetectorKind::DangSan(Config::default()), p, pscale, 0, 23);
+        for (acc, v) in tot.iter_mut().zip([
+            s.tlb_hits,
+            s.tlb_misses,
+            s.ptr2obj_cache_hits,
+            s.ptr2obj_cache_misses,
+            s.log_cache_hits,
+            s.log_cache_misses,
+        ]) {
+            *acc += v;
+        }
+        ptrs += s.ptrs_registered;
+        table.row(vec![
+            p.name.to_string(),
+            rate(s.tlb_hits, s.tlb_misses),
+            rate(s.ptr2obj_cache_hits, s.ptr2obj_cache_misses),
+            rate(s.log_cache_hits, s.log_cache_misses),
+            human(s.ptrs_registered),
+        ]);
+    }
+    table.row(vec![
+        "total".into(),
+        rate(tot[0], tot[1]),
+        rate(tot[2], tot[3]),
+        rate(tot[4], tot[5]),
+        human(ptrs),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(
+        "\nA miss on any layer is benign: the access falls back to the full\n\
+         walk (page tree / metapagetable / log list). Invalidation is by\n\
+         stamp: unmap, metadata clear, and free each publish a fresh\n\
+         never-reused stamp, so no hit can survive them (see DESIGN.md,\n\
+         \"Hot path anatomy\").\n",
+    );
+    out
+}

@@ -13,9 +13,12 @@
 //! | `servers` | §8.2/§8.3 — web-server throughput and memory |
 //! | `effectiveness` | §8.1 — exploit scenarios |
 //! | `ablations` | §4.4/§6 design-choice sweeps |
+//! | `cache_rates` | hot-path cache hit rates across the SPEC profiles |
 //! | `reproduce_all` | everything above, in order |
 //!
-//! Criterion micro-benchmarks live under `benches/` (`cargo bench`).
+//! Hot-path microbenchmarks live in the `hotpath` binary, which writes
+//! the machine-readable `BENCH_hotpath.json` baseline that
+//! `scripts/verify.sh` gates on (`--quick` for a fast sanity pass).
 
 pub mod experiments;
 pub mod ir_suite;

@@ -30,6 +30,11 @@ pub struct Config {
     /// tracked object at its new location. Closes the realloc-move false
     /// negative at the cost of scanning every copied word.
     pub hook_memcpy: bool,
+    /// Enable the per-thread hot-path caches (software TLB, ptr2obj
+    /// memoization, last-object→log). Off turns every instrumented store
+    /// back into the three full tree walks — the before/after baseline for
+    /// the hot-path micro-benchmarks. Behaviour is identical either way.
+    pub hot_path_caches: bool,
 }
 
 impl Default for Config {
@@ -41,6 +46,7 @@ impl Default for Config {
             hash_fallback: true,
             hash_initial: 64,
             hook_memcpy: false,
+            hot_path_caches: true,
         }
     }
 }
@@ -72,6 +78,12 @@ impl Config {
     /// Returns a copy with the §7 memcpy-hook extension toggled.
     pub fn with_memcpy_hook(mut self, on: bool) -> Self {
         self.hook_memcpy = on;
+        self
+    }
+
+    /// Returns a copy with the hot-path caches toggled.
+    pub fn with_hot_path_caches(mut self, on: bool) -> Self {
+        self.hot_path_caches = on;
         self
     }
 }

@@ -1,6 +1,7 @@
 //! The DangSan detector: pointer tracker + pointer logger + invalidation.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::ptr;
 use std::sync::Arc;
 
@@ -13,7 +14,7 @@ use crate::config::Config;
 use crate::log::ThreadLog;
 use crate::object::ObjectMeta;
 use crate::pool::Pool;
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{Hot, Stats, StatsSnapshot};
 
 /// Returns this thread's stable small integer id.
 ///
@@ -25,6 +26,88 @@ pub fn current_thread_id() -> u64 {
         static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     TID.with(|t| *t)
+}
+
+/// Entries in the per-thread last-object → log cache (power of two).
+///
+/// Programs store runs of pointers into the same few objects (the paper's
+/// locality argument for the lookback window), so even a tiny cache
+/// removes most log-list walks.
+const LOG_CACHE_SLOTS: usize = 4;
+
+/// One cached (object metadata value → this thread's log) association.
+///
+/// Validity is a single stamp compare: stamps come from a global
+/// never-reused counter, and a detector takes a fresh stamp on every
+/// `on_free` *before* it recycles any log, so a slot whose stamp equals
+/// the detector's *current* stamp was filled by this very detector with no
+/// free since — the cached log is still linked into this object's list and
+/// still tagged with this thread's id.
+#[derive(Clone, Copy)]
+struct LogCacheSlot {
+    /// The filling detector's `cache_stamp` at fill time; 0 never issued.
+    stamp: u64,
+    /// The object's packed metadata value (`ObjectMeta::as_meta_value`).
+    meta_val: u64,
+    /// The calling thread's log for that object.
+    log: *const ThreadLog,
+}
+
+impl LogCacheSlot {
+    const EMPTY: LogCacheSlot = LogCacheSlot {
+        stamp: 0,
+        meta_val: 0,
+        log: ptr::null(),
+    };
+}
+
+thread_local! {
+    static LOG_CACHE: [Cell<LogCacheSlot>; LOG_CACHE_SLOTS] =
+        const { [const { Cell::new(LogCacheSlot::EMPTY) }; LOG_CACHE_SLOTS] };
+}
+
+/// Entries in the per-thread registration memo (power of two).
+///
+/// The memo short-circuits `register_ptr` itself: once a (location, value)
+/// pair has been pushed into the *hash tier* of this thread's log for the
+/// target object, re-registering the identical pair is a guaranteed
+/// duplicate until a free intervenes (hash membership only grows — see
+/// [`ThreadLog::hash_active`]). 256 slots cover a 2 KiB window of
+/// locations being stored to in a loop, the pattern that drives a log into
+/// its hash tier in the first place.
+const REG_CACHE_SLOTS: usize = 256;
+
+/// One memoized (location, value) registration known to be a duplicate.
+#[derive(Clone, Copy)]
+struct RegCacheSlot {
+    /// The filling detector's `cache_stamp` at fill time; 0 never issued.
+    stamp: u64,
+    /// The stored-to location.
+    loc: u64,
+    /// The pointer value stored there.
+    value: u64,
+}
+
+impl RegCacheSlot {
+    const EMPTY: RegCacheSlot = RegCacheSlot {
+        stamp: 0,
+        loc: 0,
+        value: 0,
+    };
+}
+
+thread_local! {
+    static REG_CACHE: [Cell<RegCacheSlot>; REG_CACHE_SLOTS] =
+        const { [const { Cell::new(RegCacheSlot::EMPTY) }; REG_CACHE_SLOTS] };
+}
+
+/// Stamps are handed out once and never reused (across all detectors), so
+/// a stale thread-local entry — from a dropped detector, another detector,
+/// or this detector before a free — can never match.
+static NEXT_DETECTOR_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_detector_stamp() -> u64 {
+    NEXT_DETECTOR_STAMP.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The DangSan use-after-free detector (the paper's contribution).
@@ -64,19 +147,27 @@ pub struct DangSan {
     log_pool: Pool<ThreadLog>,
     /// Host bytes of indirect blocks and hash tables.
     extra_bytes: AtomicU64,
+    /// This detector's current cache validity stamp (see [`LogCacheSlot`]
+    /// and [`RegCacheSlot`]): globally unique, replaced by `on_free`
+    /// before any log is recycled, flushing every thread's cached
+    /// (object → log) associations and memoized registrations at once.
+    cache_stamp: AtomicU64,
 }
 
 impl DangSan {
     /// Creates a detector for objects in `mem`'s heap segment.
     pub fn new(mem: Arc<AddressSpace>, cfg: Config) -> Arc<DangSan> {
+        let map = MetaPageTable::new();
+        map.set_cache_enabled(cfg.hot_path_caches);
         Arc::new(DangSan {
             mem,
-            map: MetaPageTable::new(),
+            map,
             cfg,
             stats: Stats::default(),
             meta_pool: Pool::new(),
             log_pool: Pool::new(),
             extra_bytes: AtomicU64::new(0),
+            cache_stamp: AtomicU64::new(fresh_detector_stamp()),
         })
     }
 
@@ -151,6 +242,85 @@ impl DangSan {
         }
     }
 
+    /// [`Self::find_or_create_log`] behind the per-thread last-object
+    /// cache: repeated stores of pointers into the same object skip the
+    /// list walk entirely.
+    ///
+    /// A stamp match proves no `on_free` ran since the entry was filled,
+    /// so the cached log is still linked into this object's list and still
+    /// tagged with this thread's id. The residual race — a free on another
+    /// thread between the stamp load and the append — is the same benign
+    /// one the uncached walk already has: logs are pool-owned type-stable
+    /// memory, and the value check at free time discards any entry that
+    /// landed in a recycled log.
+    ///
+    /// `stamp` is the caller's already-loaded `cache_stamp` (acquire).
+    #[inline]
+    fn find_log_cached(&self, meta: &ObjectMeta, stamp: u64) -> &ThreadLog {
+        let meta_val = meta.as_meta_value();
+        // Meta records come from a pool of boxed, well-aligned structs;
+        // the low bits are constant, so index by the next few.
+        let idx = ((meta_val >> 6) as usize) & (LOG_CACHE_SLOTS - 1);
+        LOG_CACHE.with(|cache| {
+            let slot = cache[idx].get();
+            if slot.stamp == stamp && slot.meta_val == meta_val {
+                self.stats.bump_hot(Hot::LogCacheHits);
+                // SAFETY: stamp match (this detector, no free since fill);
+                // see the method comment.
+                return unsafe { &*slot.log };
+            }
+            self.stats.bump_hot(Hot::LogCacheMisses);
+            let log = self.find_or_create_log(meta);
+            cache[idx].set(LogCacheSlot {
+                stamp,
+                meta_val,
+                log: log as *const ThreadLog,
+            });
+            log
+        })
+    }
+
+    /// The fully cached `register_ptr` path.
+    ///
+    /// Consults the per-thread registration memo first: a hit means this
+    /// thread already pushed the identical (location, value) pair into the
+    /// hash tier of its log for the target object, and the stamp match
+    /// proves no free ran since. The uncached walk would then resolve the
+    /// same object (its shadow slots are untouched between frees), find
+    /// the same log, and take the hash tier's duplicate exit — so the walk
+    /// is skipped and only its counter effects are applied. Everything
+    /// observable (log contents, invalidation behaviour, Table 1 counters)
+    /// is identical to [`Self::find_or_create_log`] + append.
+    fn register_ptr_cached(&self, loc: Addr, value: u64) {
+        let stamp = self.cache_stamp.load(Ordering::Acquire);
+        let idx = ((loc >> 3) as usize) & (REG_CACHE_SLOTS - 1);
+        let memo_hit = REG_CACHE.with(|cache| {
+            let slot = cache[idx].get();
+            slot.stamp == stamp && slot.loc == loc && slot.value == value
+        });
+        if memo_hit {
+            // Counter effects of the skipped walk: one registration, one
+            // hash-tier duplicate, plus the cache-effectiveness diagnostic.
+            self.stats
+                .bump_hot3(Hot::PtrsRegistered, Hot::DupPtrs, Hot::LogCacheHits);
+            return;
+        }
+        let Some(meta) = self.ptr2obj(value) else {
+            return;
+        };
+        self.stats.bump_hot(Hot::PtrsRegistered);
+        let log = self.find_log_cached(meta, stamp);
+        log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
+        if log.hash_active() {
+            // `loc` is now a member of the log's hash set, and members are
+            // never removed while the object lives: memoize the pair so
+            // identical re-registrations skip the walk until the next free.
+            REG_CACHE.with(|cache| {
+                cache[idx].set(RegCacheSlot { stamp, loc, value });
+            });
+        }
+    }
+
     /// Invalidates one logged location, classifying the outcome.
     fn invalidate_location(&self, meta: &ObjectMeta, loc: Addr, report: &mut InvalidationReport) {
         match self.mem.read_word(loc) {
@@ -217,6 +387,11 @@ impl Detector for DangSan {
         let Some(meta) = self.ptr2obj(base) else {
             return report;
         };
+        // Flush every thread's (object → log) cache entries and memoized
+        // registrations before any of this object's logs are detached or
+        // recycled: a fresh stamp makes every existing slot a mismatch.
+        self.cache_stamp
+            .store(fresh_detector_stamp(), Ordering::Release);
         // Walk every thread's log and invalidate what still points here.
         let mut cur = meta.head.load(Ordering::Acquire);
         while !cur.is_null() {
@@ -254,10 +429,13 @@ impl Detector for DangSan {
 
     #[inline]
     fn register_ptr(&self, loc: Addr, value: u64) {
+        if self.cfg.hot_path_caches {
+            return self.register_ptr_cached(loc, value);
+        }
         let Some(meta) = self.ptr2obj(value) else {
             return;
         };
-        Stats::bump(&self.stats.ptrs_registered);
+        self.stats.bump_hot(Hot::PtrsRegistered);
         let log = self.find_or_create_log(meta);
         log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
     }
@@ -282,7 +460,14 @@ impl Detector for DangSan {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        let tlb = self.mem.tlb_stats();
+        snap.tlb_hits = tlb.hits;
+        snap.tlb_misses = tlb.misses;
+        let p2o = self.map.cache_stats();
+        snap.ptr2obj_cache_hits = p2o.hits;
+        snap.ptr2obj_cache_misses = p2o.misses;
+        snap
     }
 
     fn metadata_bytes(&self) -> u64 {
@@ -521,6 +706,168 @@ mod tests {
                 assert_ne!(v & INVALID_BIT, 0, "loc t={t} i={i} invalidated");
             }
         }
+    }
+
+    #[test]
+    fn warm_log_cache_does_not_survive_free_and_reuse() {
+        let (mem, heap, det) = setup();
+        let holder = alloc(&heap, &det, &mem, 8 * 4);
+        // Warm the last-object cache with many stores into object A.
+        let a = alloc(&heap, &det, &mem, 48);
+        for i in 0..16u64 {
+            mem.write_word(holder.base + (i % 4) * 8, a.base).unwrap();
+            det.register_ptr(holder.base + (i % 4) * 8, a.base);
+        }
+        assert!(det.stats().log_cache_hits >= 10, "cache warmed");
+        det.on_free(a.base);
+        heap.free(a.base).unwrap();
+        // Object B reuses A's slot (and, via the pool, typically A's very
+        // metadata record — the case the generation check exists for).
+        let b = alloc(&heap, &det, &mem, 48);
+        assert_eq!(b.base, a.base, "allocator reuses the freed slot");
+        mem.write_word(holder.base, b.base).unwrap();
+        det.register_ptr(holder.base, b.base);
+        // The registration above must land in B's (fresh) log: freeing B
+        // invalidates it, and the count proves it was not lost in a stale
+        // log from A's lifetime.
+        let r = det.on_free(b.base);
+        assert_eq!(r.invalidated, 1);
+        assert_eq!(
+            mem.read_word(holder.base).unwrap(),
+            b.base | INVALID_BIT,
+            "pointer to the reused object is invalidated through the cache"
+        );
+    }
+
+    #[test]
+    fn caches_do_not_change_reports_or_table1_counters() {
+        // Run the identical sequence with the hot-path caches on and off;
+        // every InvalidationReport and every paper-visible counter must
+        // match exactly.
+        let run = |caches: bool| {
+            let mem = Arc::new(AddressSpace::new());
+            let heap = Heap::new(Arc::clone(&mem));
+            let det = DangSan::new(
+                Arc::clone(&mem),
+                Config::default().with_hot_path_caches(caches),
+            );
+            mem.set_tlb_enabled(caches);
+            let holder = heap.malloc(8 * 8).unwrap();
+            det.on_alloc(&holder);
+            let mut reports = Vec::new();
+            for round in 0..10u64 {
+                let obj = heap.malloc(40 + round * 8).unwrap();
+                det.on_alloc(&obj);
+                for s in 0..8u64 {
+                    let loc = holder.base + s * 8;
+                    let val = obj.base + (s % 5) * 8;
+                    mem.write_word(loc, val).unwrap();
+                    det.register_ptr(loc, val);
+                }
+                // Overwrite one slot so a stale entry exists too.
+                mem.write_word(holder.base, 7).unwrap();
+                reports.push(det.on_free(obj.base));
+                heap.free(obj.base).unwrap();
+            }
+            // Only the cache-effectiveness counters themselves may differ.
+            (reports, det.stats().behavioural())
+        };
+        let (rep_on, stats_on) = run(true);
+        let (rep_off, stats_off) = run(false);
+        assert_eq!(rep_on, rep_off, "invalidation reports diverge");
+        assert_eq!(stats_on, stats_off, "Table 1 counters diverge");
+    }
+
+    #[test]
+    fn memoized_registrations_die_with_the_object() {
+        // Drive a log into its hash tier so the registration memo fills,
+        // then free the object and let the allocator hand out the same
+        // base again. The memoized (loc, value) pairs must not swallow
+        // registrations for the new object.
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        // Tiny array tiers: the hash activates after a handful of appends.
+        let det = DangSan::new(
+            Arc::clone(&mem),
+            Config {
+                compression: false,
+                lookback: 0,
+                indirect_capacity: 4,
+                ..Config::default()
+            },
+        );
+        let holder = alloc(&heap, &det, &mem, 8 * 32);
+        let a = alloc(&heap, &det, &mem, 64);
+        for pass in 0..3 {
+            for s in 0..32u64 {
+                let loc = holder.base + s * 8;
+                mem.write_word(loc, a.base).unwrap();
+                det.register_ptr(loc, a.base);
+                let _ = pass;
+            }
+        }
+        assert_eq!(det.stats().hashtables, 1, "hash tier active");
+        let r = det.on_free(a.base);
+        assert_eq!(r.invalidated, 32);
+        heap.free(a.base).unwrap();
+        let b = alloc(&heap, &det, &mem, 64);
+        assert_eq!(b.base, a.base, "allocator reuses the freed slot");
+        // Identical (loc, value) pairs to the ones memoized for A: they
+        // must be appended to B's fresh log, not dropped as duplicates.
+        for s in 0..32u64 {
+            let loc = holder.base + s * 8;
+            mem.write_word(loc, b.base).unwrap();
+            det.register_ptr(loc, b.base);
+        }
+        let r = det.on_free(b.base);
+        assert_eq!(r.invalidated, 32, "no registration lost to a stale memo");
+    }
+
+    #[test]
+    fn caches_equivalent_in_the_hash_tier_regime() {
+        // Same as `caches_do_not_change_reports_or_table1_counters`, but
+        // with enough distinct locations (> embedded + indirect capacity,
+        // compressed) to push logs into the hash tier, the regime where
+        // the registration memo short-circuits the whole walk.
+        const LOCS: u64 = 300;
+        let run = |caches: bool| {
+            let mem = Arc::new(AddressSpace::new());
+            let heap = Heap::new(Arc::clone(&mem));
+            let det = DangSan::new(
+                Arc::clone(&mem),
+                Config::default().with_hot_path_caches(caches),
+            );
+            mem.set_tlb_enabled(caches);
+            let holder = heap.malloc(LOCS * 8).unwrap();
+            det.on_alloc(&holder);
+            let mut reports = Vec::new();
+            for round in 0..3u64 {
+                let obj = heap.malloc(128).unwrap();
+                det.on_alloc(&obj);
+                for pass in 0..4u64 {
+                    for s in 0..LOCS {
+                        let loc = holder.base + s * 8;
+                        let val = obj.base + (s % 16) * 8;
+                        mem.write_word(loc, val).unwrap();
+                        det.register_ptr(loc, val);
+                        let _ = pass;
+                    }
+                }
+                reports.push((round, det.on_free(obj.base)));
+                heap.free(obj.base).unwrap();
+            }
+            (reports, det.stats().behavioural())
+        };
+        let (rep_on, stats_on) = run(true);
+        let (rep_off, stats_off) = run(false);
+        assert_eq!(rep_on, rep_off, "invalidation reports diverge");
+        assert_eq!(stats_on, stats_off, "Table 1 counters diverge");
+        // One allocation serves all rounds: the table stays attached to
+        // the pool-recycled log (zeroed on reset, never freed).
+        assert!(
+            stats_on.hashtables >= 1,
+            "workload must exercise the hash tier: {stats_on:?}"
+        );
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use api::{Detector, InvalidationReport, NullDetector};
 pub use config::{Config, EMBEDDED_ENTRIES};
 pub use detector::{current_thread_id, DangSan};
 pub use hooked::{HookedHeap, HookedThread};
-pub use stats::{Stats, StatsSnapshot};
+pub use stats::{Hot, Stats, StatsSnapshot};
 
 /// A shareable, thread-safe detector handle.
 pub type SharedDetector = std::sync::Arc<dyn Detector + Send + Sync>;

@@ -33,7 +33,7 @@ use dangsan_vmem::Addr;
 use crate::compress::{self, Fold};
 use crate::config::{Config, EMBEDDED_ENTRIES};
 use crate::pool::PoolItem;
-use crate::stats::Stats;
+use crate::stats::{Hot, Stats};
 
 /// Outcome of an append, used for statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,7 +180,7 @@ impl ThreadLog {
 
         // Lookback (§4.4): scan the most recent entries for this location.
         if cfg.lookback > 0 && self.lookback_contains(loc, cfg.lookback) {
-            Stats::bump(&stats.dup_ptrs);
+            stats.bump_hot(Hot::DupPtrs);
             return Appended::Duplicate;
         }
 
@@ -189,12 +189,12 @@ impl ThreadLog {
             if let Some((slot, cur)) = self.last_slot() {
                 match compress::fold(cur, loc) {
                     Fold::Duplicate => {
-                        Stats::bump(&stats.dup_ptrs);
+                        stats.bump_hot(Hot::DupPtrs);
                         return Appended::Duplicate;
                     }
                     Fold::Merged(v) => {
                         slot.store(v, Ordering::Release);
-                        Stats::bump(&stats.compressed_merges);
+                        stats.bump_hot(Hot::CompressedMerges);
                         return Appended::Compressed;
                     }
                     Fold::Full => {}
@@ -217,7 +217,7 @@ impl ThreadLog {
             match table.insert(loc) {
                 Ok(true) => return Appended::Stored,
                 Ok(false) => {
-                    Stats::bump(&stats.dup_ptrs);
+                    stats.bump_hot(Hot::DupPtrs);
                     return Appended::Duplicate;
                 }
                 Err(()) => {
@@ -341,6 +341,19 @@ impl ThreadLog {
             block.len.store(1, Ordering::Release);
             self.indirect.store(Box::into_raw(block), Ordering::Release);
         }
+    }
+
+    /// Whether the hash-table tier is active.
+    ///
+    /// Once active, every recorded location is (also) a member of the hash
+    /// set, and members are never removed while the log belongs to its
+    /// current object — membership only grows until the object is freed.
+    /// The detector's registration memo relies on this monotonicity: a
+    /// location observed in the hash stays a duplicate until a free
+    /// invalidates the memo.
+    #[inline]
+    pub fn hash_active(&self) -> bool {
+        !self.hash.load(Ordering::Acquire).is_null()
     }
 
     /// Visits every location recorded in this log (invalidation walk).
@@ -634,6 +647,11 @@ mod tests {
                 i
             })
         };
+        // Wait for the first append so the writer is guaranteed a slice of
+        // real concurrency even on a single-core machine.
+        while collect(&log).is_empty() {
+            std::thread::yield_now();
+        }
         // Concurrent reads must always observe a dense prefix.
         for _ in 0..200 {
             let mut seen = Vec::new();

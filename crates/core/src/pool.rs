@@ -14,7 +14,7 @@
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::ptr;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Implemented by records that can live in a [`Pool`].
 pub trait PoolItem: Default {
@@ -74,7 +74,7 @@ impl<T: PoolItem> Pool<T> {
         let fresh = Box::into_raw(Box::new(T::default()));
         self.bytes
             .fetch_add(core::mem::size_of::<T>() as u64, Ordering::Relaxed);
-        self.all.lock().push(fresh);
+        self.all.lock().expect("not poisoned").push(fresh);
         // SAFETY: freshly allocated, owned by the pool, never freed until
         // the pool drops.
         unsafe { &*fresh }
@@ -105,13 +105,13 @@ impl<T: PoolItem> Pool<T> {
 
     /// Total records ever allocated.
     pub fn allocated(&self) -> usize {
-        self.all.lock().len()
+        self.all.lock().expect("not poisoned").len()
     }
 }
 
 impl<T: PoolItem> Drop for Pool<T> {
     fn drop(&mut self) {
-        for raw in self.all.get_mut().drain(..) {
+        for raw in self.all.get_mut().expect("not poisoned").drain(..) {
             // SAFETY: every record was created by `Box::into_raw` in
             // `take`, appears in `all` exactly once, and no references
             // outlive the pool (callers' lifetimes are tied to the
@@ -180,7 +180,7 @@ mod tests {
         // No record was ever handed to two threads at once, so the records
         // in `all` sum to exactly the number of operations.
         let total: u64 = {
-            let all = pool.all.lock();
+            let all = pool.all.lock().unwrap();
             all.iter()
                 // SAFETY: records are live until the pool drops.
                 .map(|&r| unsafe { (*r).value.load(Ordering::Relaxed) })

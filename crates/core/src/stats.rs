@@ -1,10 +1,117 @@
 //! Detector statistics — the counters behind the paper's Table 1.
+//!
+//! The counters hit on every instrumented store (`# ptrs`, `# dup`, …)
+//! are batched per thread: a locked `fetch_add` on a shared cache line
+//! costs more than the rest of the registration fast path combined, so
+//! each thread accumulates into a private slab of single-writer atomics
+//! (plain load + store — uncontended, no RMW). Slabs register with their
+//! `Stats` instance, and `snapshot()` sums the shared totals plus every
+//! live slab under a mutex, so totals are exact for the counting thread
+//! itself and for any reader ordered after the counting (a `join` or the
+//! end of a `thread::scope`). Nothing depends on TLS-destructor timing —
+//! a scoped thread's destructors can run *after* `scope` returns, so a
+//! flush-on-exit scheme would race with the post-join reader; the
+//! destructor here only retires the slab to bound memory.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Number of hot (per-store) counters batched per thread.
+const HOT_COUNTERS: usize = 5;
+
+/// Index of one hot counter in the per-thread batch.
+#[derive(Debug, Clone, Copy)]
+pub enum Hot {
+    /// `# ptrs` — pointer registrations that resolved to a tracked object.
+    PtrsRegistered = 0,
+    /// `# dup` — registrations suppressed by lookback/compression/hash.
+    DupPtrs = 1,
+    /// Log entries that ended up sharing a compressed slot (Figure 8 wins).
+    CompressedMerges = 2,
+    /// `registerptr` calls answered by the per-thread caches.
+    LogCacheHits = 3,
+    /// `registerptr` calls that took the uncached walk while caches were on.
+    LogCacheMisses = 4,
+}
+
+/// One thread's hot counts for one `Stats` instance. Only the owning
+/// thread writes (plain load + store, never an RMW), so the atomics are
+/// uncontended; any thread may *read* them through the registry.
+#[derive(Debug, Default)]
+struct BatchSlab {
+    counts: [AtomicU64; HOT_COUNTERS],
+}
+
+/// The shared accumulation target for the hot counters. `Arc`ed so a
+/// thread-local batch can hold a `Weak` to it and retire its slab on
+/// thread exit without keeping a dropped detector's stats alive.
+#[derive(Debug, Default)]
+struct HotShared {
+    /// Totals handed over by retired slabs (exited or retargeted threads).
+    retired: [AtomicU64; HOT_COUNTERS],
+    /// Live per-thread slabs; `snapshot()` sums these under the lock.
+    live: Mutex<Vec<Arc<BatchSlab>>>,
+}
+
+/// Identifies `HotShared` instances; ids are never reused, so a stale
+/// thread-local batch can never alias a new detector's stats.
+static NEXT_STATS_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The calling thread's current batch: which `Stats` it counts for and
+/// the slab it counts into.
+struct HotBatch {
+    /// `Stats::hot_id` of the instance the slab belongs to; 0 = none.
+    id: Cell<u64>,
+    /// The registered slab, kept alive by the `Arc`; the raw pointer is a
+    /// borrow of it so the bump path skips the `RefCell` flag dance.
+    slab: Cell<*const BatchSlab>,
+    hold: RefCell<Option<(Weak<HotShared>, Arc<BatchSlab>)>>,
+}
+
+impl HotBatch {
+    /// Hands the slab's counts over to its `HotShared` (if still alive)
+    /// and deregisters it. Holding the registry lock across the handover
+    /// keeps a concurrent `snapshot()` from seeing the counts 0 or 2
+    /// times — it sees the slab in `live` or its totals in `retired`.
+    fn retire(&self) {
+        self.id.set(0);
+        self.slab.set(core::ptr::null());
+        if let Some((target, slab)) = self.hold.borrow_mut().take() {
+            if let Some(shared) = target.upgrade() {
+                let mut live = shared.live.lock().unwrap();
+                live.retain(|s| !Arc::ptr_eq(s, &slab));
+                for i in 0..HOT_COUNTERS {
+                    let n = slab.counts[i].load(Ordering::Relaxed);
+                    if n > 0 {
+                        shared.retired[i].fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for HotBatch {
+    fn drop(&mut self) {
+        // Thread exit: retire the slab so the registry doesn't grow with
+        // thread churn. Exactness never depends on this running at any
+        // particular time — the counts stay readable while registered.
+        self.retire();
+    }
+}
+
+thread_local! {
+    static HOT_BATCH: HotBatch = HotBatch {
+        id: Cell::new(0),
+        slab: Cell::new(core::ptr::null()),
+        hold: RefCell::new(None),
+    };
+}
 
 /// Monotonic counters maintained by a detector. Field names follow the
 /// columns of Table 1 ("Statistics for SPEC CPU2006").
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stats {
     /// `# obj alloc` — objects registered with the detector.
     pub objects_allocated: AtomicU64,
@@ -12,14 +119,10 @@ pub struct Stats {
     pub objects_freed: AtomicU64,
     /// `# hashtable` — hash tables allocated as log fallback.
     pub hashtables: AtomicU64,
-    /// `# ptrs` — pointer registrations that resolved to a tracked object.
-    pub ptrs_registered: AtomicU64,
     /// `# inval` — pointers actually rewritten at free time.
     pub ptrs_invalidated: AtomicU64,
     /// `# stale` — logged locations that no longer referenced the object.
     pub stale_ptrs: AtomicU64,
-    /// `# dup` — registrations suppressed by lookback/compression/hash.
-    pub dup_ptrs: AtomicU64,
     /// Locations skipped because their memory was unmapped (the simulated
     /// "catch SIGSEGV and skip" path of §4.4).
     pub sigsegv_skips: AtomicU64,
@@ -27,8 +130,27 @@ pub struct Stats {
     pub logs_created: AtomicU64,
     /// Indirect (overflow) log blocks allocated.
     pub indirect_blocks: AtomicU64,
-    /// Log entries that ended up sharing a compressed slot (Figure 8 wins).
-    pub compressed_merges: AtomicU64,
+    /// The per-store counters (see [`Hot`]), batched per thread.
+    hot: Arc<HotShared>,
+    /// Never-reused identity of `hot` for the thread-local batches.
+    hot_id: u64,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            objects_allocated: AtomicU64::new(0),
+            objects_freed: AtomicU64::new(0),
+            hashtables: AtomicU64::new(0),
+            ptrs_invalidated: AtomicU64::new(0),
+            stale_ptrs: AtomicU64::new(0),
+            sigsegv_skips: AtomicU64::new(0),
+            logs_created: AtomicU64::new(0),
+            indirect_blocks: AtomicU64::new(0),
+            hot: Arc::new(HotShared::default()),
+            hot_id: NEXT_STATS_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 /// A plain-old-data copy of [`Stats`], cheap to store and compare.
@@ -40,13 +162,13 @@ pub struct StatsSnapshot {
     pub objects_freed: u64,
     /// See [`Stats::hashtables`].
     pub hashtables: u64,
-    /// See [`Stats::ptrs_registered`].
+    /// See [`Hot::PtrsRegistered`].
     pub ptrs_registered: u64,
     /// See [`Stats::ptrs_invalidated`].
     pub ptrs_invalidated: u64,
     /// See [`Stats::stale_ptrs`].
     pub stale_ptrs: u64,
-    /// See [`Stats::dup_ptrs`].
+    /// See [`Hot::DupPtrs`].
     pub dup_ptrs: u64,
     /// See [`Stats::sigsegv_skips`].
     pub sigsegv_skips: u64,
@@ -54,33 +176,138 @@ pub struct StatsSnapshot {
     pub logs_created: u64,
     /// See [`Stats::indirect_blocks`].
     pub indirect_blocks: u64,
-    /// See [`Stats::compressed_merges`].
+    /// See [`Hot::CompressedMerges`].
     pub compressed_merges: u64,
+    /// See [`Hot::LogCacheHits`].
+    pub log_cache_hits: u64,
+    /// See [`Hot::LogCacheMisses`].
+    pub log_cache_misses: u64,
+    /// Software-TLB hits in the underlying address space (filled in by
+    /// [`crate::DangSan::stats`]; zero for detectors without one).
+    pub tlb_hits: u64,
+    /// Software-TLB misses in the underlying address space.
+    pub tlb_misses: u64,
+    /// Per-thread `ptr2obj` cache hits in the metapagetable (filled in by
+    /// [`crate::DangSan::stats`]).
+    pub ptr2obj_cache_hits: u64,
+    /// Per-thread `ptr2obj` cache misses in the metapagetable.
+    pub ptr2obj_cache_misses: u64,
 }
 
 impl Stats {
     /// Takes a consistent-enough snapshot (counters are independent).
+    ///
+    /// Hot-counter totals sum the retired counts and every live slab, so
+    /// they are exact for single-threaded histories and for any reader
+    /// ordered after the counting — a `join`, or `thread::scope` ending
+    /// (which orders the spawned closures before the scope's return even
+    /// though the threads' TLS destructors may still be pending).
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut hot = [0u64; HOT_COUNTERS];
+        {
+            let live = self.hot.live.lock().unwrap();
+            for i in 0..HOT_COUNTERS {
+                hot[i] = self.hot.retired[i].load(Ordering::Relaxed);
+                for slab in live.iter() {
+                    hot[i] += slab.counts[i].load(Ordering::Relaxed);
+                }
+            }
+        }
         let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let h = |i: Hot| hot[i as usize];
         StatsSnapshot {
             objects_allocated: l(&self.objects_allocated),
             objects_freed: l(&self.objects_freed),
             hashtables: l(&self.hashtables),
-            ptrs_registered: l(&self.ptrs_registered),
+            ptrs_registered: h(Hot::PtrsRegistered),
             ptrs_invalidated: l(&self.ptrs_invalidated),
             stale_ptrs: l(&self.stale_ptrs),
-            dup_ptrs: l(&self.dup_ptrs),
+            dup_ptrs: h(Hot::DupPtrs),
             sigsegv_skips: l(&self.sigsegv_skips),
             logs_created: l(&self.logs_created),
             indirect_blocks: l(&self.indirect_blocks),
-            compressed_merges: l(&self.compressed_merges),
+            compressed_merges: h(Hot::CompressedMerges),
+            log_cache_hits: h(Hot::LogCacheHits),
+            log_cache_misses: h(Hot::LogCacheMisses),
+            // The memory-layer counters live in the address space and the
+            // metapagetable; detectors that own those fill them in.
+            tlb_hits: 0,
+            tlb_misses: 0,
+            ptr2obj_cache_hits: 0,
+            ptr2obj_cache_misses: 0,
         }
     }
 
-    /// Relaxed increment helper.
+    /// Relaxed increment helper for the cold (free-path) counters.
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs `f` with the calling thread's slab for this instance,
+    /// registering one (and retiring any previous target's) first.
+    #[inline]
+    fn with_batch(&self, f: impl FnOnce(&BatchSlab)) {
+        HOT_BATCH.with(|b| {
+            if b.id.get() != self.hot_id {
+                // First count for a different detector: hand the previous
+                // one its counts back, then register a fresh slab here.
+                b.retire();
+                let slab = Arc::new(BatchSlab::default());
+                self.hot.live.lock().unwrap().push(Arc::clone(&slab));
+                b.slab.set(Arc::as_ptr(&slab));
+                *b.hold.borrow_mut() = Some((Arc::downgrade(&self.hot), slab));
+                b.id.set(self.hot_id);
+            }
+            // SAFETY: `id == hot_id` implies `slab` points into the Arc in
+            // `hold` (the two are only ever set/cleared together), which
+            // pins the slab for the duration of the call.
+            f(unsafe { &*b.slab.get() });
+        });
+    }
+
+    /// Increments a hot (store-path) counter through the calling thread's
+    /// slab: an uncontended load + store on a thread-private line instead
+    /// of a locked read-modify-write on a line shared with every thread.
+    #[inline]
+    pub fn bump_hot(&self, which: Hot) {
+        self.with_batch(|s| {
+            let c = &s.counts[which as usize];
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        });
+    }
+
+    /// Increments three hot counters in one batch access (the cached
+    /// registration fast path counts a registration, a duplicate and a
+    /// cache hit per store; one thread-local round trip covers all three).
+    #[inline]
+    pub fn bump_hot3(&self, a: Hot, b: Hot, c: Hot) {
+        self.with_batch(|s| {
+            for which in [a, b, c] {
+                let c = &s.counts[which as usize];
+                c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+impl StatsSnapshot {
+    /// Copy with the cache-effectiveness diagnostics zeroed, leaving only
+    /// the behavioural (Table 1) counters.
+    ///
+    /// The hot-path caches are correctness-transparent, but their hit/miss
+    /// *split* depends on where object metadata happens to be allocated
+    /// (the cache slot index hashes the metadata address), so it is not
+    /// stable across detector instances. Tests asserting two detector
+    /// histories are behaviourally identical should compare this.
+    pub fn behavioural(mut self) -> Self {
+        self.log_cache_hits = 0;
+        self.log_cache_misses = 0;
+        self.tlb_hits = 0;
+        self.tlb_misses = 0;
+        self.ptr2obj_cache_hits = 0;
+        self.ptr2obj_cache_misses = 0;
+        self
     }
 }
 
@@ -91,12 +318,47 @@ mod tests {
     #[test]
     fn snapshot_reflects_counters() {
         let s = Stats::default();
-        Stats::bump(&s.ptrs_registered);
-        Stats::bump(&s.ptrs_registered);
-        Stats::bump(&s.dup_ptrs);
+        s.bump_hot(Hot::PtrsRegistered);
+        s.bump_hot(Hot::PtrsRegistered);
+        s.bump_hot(Hot::DupPtrs);
         let snap = s.snapshot();
         assert_eq!(snap.ptrs_registered, 2);
         assert_eq!(snap.dup_ptrs, 1);
         assert_eq!(snap.ptrs_invalidated, 0);
+    }
+
+    #[test]
+    fn hot_counts_survive_detector_switch_and_scope_exit() {
+        let a = Stats::default();
+        let b = Stats::default();
+        a.bump_hot(Hot::DupPtrs);
+        b.bump_hot(Hot::DupPtrs); // switches the batch, retiring `a`'s slab
+        b.bump_hot(Hot::DupPtrs);
+        assert_eq!(a.snapshot().dup_ptrs, 1);
+        assert_eq!(b.snapshot().dup_ptrs, 2);
+
+        // Exactness right after `scope` returns, even though the spawned
+        // thread's TLS destructors may not have run yet: the slab stays
+        // registered and readable, so no exit-time flush is needed.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    a.bump_hot(Hot::PtrsRegistered);
+                }
+            });
+        });
+        assert_eq!(a.snapshot().ptrs_registered, 100);
+    }
+
+    #[test]
+    fn pending_counts_for_a_dropped_stats_are_discarded() {
+        let a = Stats::default();
+        a.bump_hot(Hot::DupPtrs);
+        drop(a);
+        // Retiring the slab of a dead instance must not crash; counting
+        // for a new instance retargets cleanly.
+        let b = Stats::default();
+        b.bump_hot(Hot::DupPtrs);
+        assert_eq!(b.snapshot().dup_ptrs, 1);
     }
 }

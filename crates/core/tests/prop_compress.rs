@@ -1,24 +1,30 @@
-//! Property tests for the Figure 8 pointer-compression encoding.
+//! Randomized tests for the Figure 8 pointer-compression encoding, driven
+//! by the in-repo seeded [`SmallRng`] (formerly proptest).
 
 use dangsan::compress::{contains, fold, locations, Fold};
+use dangsan_vmem::rng::SmallRng;
 use dangsan_vmem::HEAP_BASE;
-use proptest::prelude::*;
+
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 512;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 8192;
 
 /// A random word-aligned user-space location.
-fn loc_strategy() -> impl Strategy<Value = u64> {
-    (0u64..(1 << 43)).prop_map(|v| (HEAP_BASE + v * 8) & ((1 << 47) - 1))
+fn random_loc(rng: &mut SmallRng) -> u64 {
+    (HEAP_BASE + rng.gen_range(0u64..(1 << 43)) * 8) & ((1 << 47) - 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Folding any sequence of locations into a single entry never loses
-    /// or invents locations: the decoded set equals the accepted inputs.
-    #[test]
-    fn fold_preserves_location_sets(
-        base in loc_strategy(),
-        lsbs in proptest::collection::vec(0u64..32, 1..6),
-    ) {
+/// Folding any sequence of locations into a single entry never loses or
+/// invents locations: the decoded set equals the accepted inputs.
+#[test]
+fn fold_preserves_location_sets() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF01D + case);
+        let base = random_loc(&mut rng);
+        let lsbs: Vec<u64> = (0..rng.gen_range(1usize..6))
+            .map(|_| rng.gen_range(0u64..32))
+            .collect();
         // Candidate locations share the high bits (same 256-byte window).
         let cands: Vec<u64> = lsbs.iter().map(|l| (base & !0xff) | (l * 8)).collect();
         let mut entry = cands[0];
@@ -26,7 +32,7 @@ proptest! {
         for &loc in &cands[1..] {
             match fold(entry, loc) {
                 Fold::Duplicate => {
-                    prop_assert!(accepted.contains(&loc));
+                    assert!(accepted.contains(&loc));
                 }
                 Fold::Merged(e) => {
                     entry = e;
@@ -34,7 +40,7 @@ proptest! {
                 }
                 Fold::Full => {
                     // A full entry must already hold 3 distinct locations.
-                    prop_assert_eq!(locations(entry).count(), 3);
+                    assert_eq!(locations(entry).count(), 3);
                     break;
                 }
             }
@@ -43,14 +49,19 @@ proptest! {
         decoded.sort_unstable();
         accepted.sort_unstable();
         accepted.dedup();
-        prop_assert_eq!(decoded, accepted);
+        assert_eq!(decoded, accepted);
     }
+}
 
-    /// `contains` agrees with the decoded location set for any entry
-    /// reachable by folding.
-    #[test]
-    fn contains_matches_decode(a in loc_strategy(), d1 in 1u64..32, d2 in 1u64..32) {
-        let a = a & !0xff;
+/// `contains` agrees with the decoded location set for any entry reachable
+/// by folding.
+#[test]
+fn contains_matches_decode() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC04 + case);
+        let a = random_loc(&mut rng) & !0xff;
+        let d1 = rng.gen_range(1u64..32);
+        let d2 = rng.gen_range(1u64..32);
         let b = a + d1 * 8;
         let c = a + ((d1 + d2) % 32) * 8;
         let mut entry = a;
@@ -61,20 +72,25 @@ proptest! {
         }
         let decoded: Vec<u64> = locations(entry).collect();
         for probe in [a, b, c, a + 8, a + 248] {
-            prop_assert_eq!(
+            assert_eq!(
                 contains(entry, probe),
                 decoded.contains(&probe),
-                "probe {:#x} decoded {:x?}",
-                probe,
-                decoded
+                "probe {probe:#x} decoded {decoded:x?}"
             );
         }
     }
+}
 
-    /// Locations in different 256-byte windows never merge.
-    #[test]
-    fn distinct_windows_never_merge(a in loc_strategy(), b in loc_strategy()) {
-        prop_assume!(a >> 8 != b >> 8);
-        prop_assert_eq!(fold(a, b), Fold::Full);
+/// Locations in different 256-byte windows never merge.
+#[test]
+fn distinct_windows_never_merge() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD157 + case);
+        let a = random_loc(&mut rng);
+        let b = random_loc(&mut rng);
+        if a >> 8 == b >> 8 {
+            continue;
+        }
+        assert_eq!(fold(a, b), Fold::Full);
     }
 }

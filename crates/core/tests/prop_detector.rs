@@ -1,12 +1,18 @@
-//! Property tests for the DangSan detector's central soundness claims.
+//! Randomized tests for the DangSan detector's central soundness claims,
+//! driven by the in-repo seeded [`SmallRng`] (formerly proptest).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use dangsan::{Config, DangSan, Detector, HookedHeap};
 use dangsan_heap::Heap;
+use dangsan_vmem::rng::SmallRng;
 use dangsan_vmem::{AddressSpace, INVALID_BIT};
-use proptest::prelude::*;
+
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 96;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 768;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,41 +26,46 @@ enum Op {
     Free(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => (8u64..512).prop_map(Op::Alloc),
-        4 => (any::<usize>(), 0u64..64, any::<usize>())
-            .prop_map(|(obj, off, slot)| Op::StorePtr { obj, off, slot }),
-        1 => (any::<usize>(), any::<u64>()).prop_map(|(slot, val)| Op::StoreInt { slot, val }),
-        2 => any::<usize>().prop_map(Op::Free),
-    ]
-}
-
-fn configs() -> impl Strategy<Value = Config> {
-    (0usize..6, any::<bool>(), any::<bool>(), 4usize..64).prop_map(
-        |(lookback, compression, hash_fallback, indirect)| Config {
-            lookback,
-            compression,
-            hash_fallback,
-            indirect_capacity: indirect,
-            hash_initial: 16,
-            hook_memcpy: false,
+fn random_op(rng: &mut SmallRng) -> Op {
+    // Weights match the original strategy: 2 alloc, 4 store-ptr,
+    // 1 store-int, 2 free.
+    match rng.gen_range(0u64..9) {
+        0 | 1 => Op::Alloc(rng.gen_range(8u64..512)),
+        2..=5 => Op::StorePtr {
+            obj: rng.next_u64() as usize,
+            off: rng.gen_range(0u64..64),
+            slot: rng.next_u64() as usize,
         },
-    )
+        6 => Op::StoreInt {
+            slot: rng.next_u64() as usize,
+            val: rng.next_u64(),
+        },
+        _ => Op::Free(rng.next_u64() as usize),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn random_config(rng: &mut SmallRng) -> Config {
+    Config {
+        lookback: rng.gen_range(0usize..6),
+        compression: rng.gen_bool(0.5),
+        hash_fallback: rng.gen_bool(0.5),
+        indirect_capacity: rng.gen_range(4usize..64),
+        hash_initial: 16,
+        hot_path_caches: rng.gen_bool(0.5),
+        ..Config::default()
+    }
+}
 
-    /// Soundness: after any operation sequence, for every freed object,
-    /// every slot that still held an in-range pointer to it at free time is
-    /// invalidated, and no slot holding a pointer to a *different live*
-    /// object is ever corrupted — under every detector configuration.
-    #[test]
-    fn invalidation_is_sound_and_precise(
-        cfg in configs(),
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-    ) {
+/// Soundness: after any operation sequence, for every freed object, every
+/// slot that still held an in-range pointer to it at free time is
+/// invalidated, and no slot holding a pointer to a *different live* object
+/// is ever corrupted — under every detector configuration, with the
+/// hot-path caches both on and off.
+#[test]
+fn invalidation_is_sound_and_precise() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xDE7EC7 + case);
+        let cfg = random_config(&mut rng);
         let mem = Arc::new(AddressSpace::new());
         let heap = Heap::new(Arc::clone(&mem));
         let det = DangSan::new(Arc::clone(&mem), cfg);
@@ -68,16 +79,21 @@ proptest! {
         // Model: slot index -> value the program last stored.
         let mut slots: HashMap<usize, u64> = HashMap::new();
 
-        for op in ops {
-            match op {
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            match random_op(&mut rng) {
                 Op::Alloc(size) => {
                     let a = hh.malloc(size).unwrap();
                     objects.push((a.base, size, true));
                 }
                 Op::StorePtr { obj, off, slot } => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let (base, size, live) = objects[obj % objects.len()];
-                    if !live { continue; }
+                    if !live {
+                        continue;
+                    }
                     let ptr = base + off.min(size);
                     let s = slot % 64;
                     hh.store_ptr(slot_addr(s), ptr).unwrap();
@@ -95,10 +111,14 @@ proptest! {
                     slots.insert(s, val);
                 }
                 Op::Free(n) => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let idx = n % objects.len();
                     let (base, size, live) = objects[idx];
-                    if !live { continue; }
+                    if !live {
+                        continue;
+                    }
                     hh.free(base).unwrap();
                     objects[idx].2 = false;
                     // Model expectation: every slot whose current value
@@ -111,10 +131,7 @@ proptest! {
                     // Check all slots against the model.
                     for (s, v) in slots.iter() {
                         let actual = hh.load(slot_addr(*s)).unwrap();
-                        prop_assert_eq!(
-                            actual, *v,
-                            "slot {} after free of {:#x}", s, base
-                        );
+                        assert_eq!(actual, *v, "slot {s} after free of {base:#x}");
                     }
                 }
             }
@@ -122,10 +139,10 @@ proptest! {
         // Every dangling slot traps; every live pointer dereferences fine.
         for (_, v) in slots {
             if v & INVALID_BIT != 0 {
-                prop_assert!(hh.load(v & !7).is_err());
+                assert!(hh.load(v & !7).is_err());
             }
         }
         let s = hh.detector().stats();
-        prop_assert!(s.ptrs_registered >= s.dup_ptrs);
+        assert!(s.ptrs_registered >= s.dup_ptrs);
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dangsan_vmem::{Addr, AddressSpace, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::size_classes::{class_for_size, classes, SizeClass};
 use crate::span::{SpanInfo, SpanRegistry};
@@ -118,7 +118,7 @@ impl Heap {
     }
 
     fn carve_pages(&self, pages: u64) -> Result<Addr, AllocError> {
-        let mut ph = self.page_heap.lock();
+        let mut ph = self.page_heap.lock().expect("not poisoned");
         let start_page = ph.next_page;
         if (start_page + pages) * PAGE_SIZE > HEAP_SIZE {
             return Err(AllocError::OutOfMemory);
@@ -164,7 +164,7 @@ impl Heap {
         want: usize,
         out: &mut Vec<Addr>,
     ) -> Result<(), AllocError> {
-        let mut list = self.central[class.id as usize].lock();
+        let mut list = self.central[class.id as usize].lock().expect("not poisoned");
         if list.is_empty() {
             self.refill_from_new_span(class, &mut list)?;
         }
@@ -176,7 +176,7 @@ impl Heap {
 
     /// Returns objects of `class` to the central list.
     pub(crate) fn central_push(&self, class_id: u32, objs: &mut Vec<Addr>, keep: usize) {
-        let mut list = self.central[class_id as usize].lock();
+        let mut list = self.central[class_id as usize].lock().expect("not poisoned");
         list.extend(objs.drain(keep..));
     }
 
@@ -214,7 +214,7 @@ impl Heap {
     fn alloc_large(&self, requested: u64) -> Result<Allocation, AllocError> {
         let pages = (requested + 1).div_ceil(PAGE_SIZE);
         let reused = {
-            let mut ph = self.page_heap.lock();
+            let mut ph = self.page_heap.lock().expect("not poisoned");
             ph.large_pool.get_mut(&pages).and_then(Vec::pop)
         };
         let start = match reused {
@@ -314,7 +314,7 @@ impl Heap {
 
     /// Returns a (released) large span to the reuse pool.
     pub(crate) fn pool_large(&self, span: &SpanInfo) {
-        let mut ph = self.page_heap.lock();
+        let mut ph = self.page_heap.lock().expect("not poisoned");
         ph.large_pool
             .entry(span.pages)
             .or_default()
@@ -330,7 +330,7 @@ impl Heap {
             let class_id = class_for_size(span.stride)
                 .expect("span stride is a class size")
                 .id;
-            self.central[class_id as usize].lock().push(addr);
+            self.central[class_id as usize].lock().expect("not poisoned").push(addr);
         }
         Ok(info)
     }

@@ -1,10 +1,11 @@
-//! Property test: the §6 optimizations never change what is detected.
+//! Randomized test: the §6 optimizations never change what is detected.
 //!
 //! Random programs are generated from a small statement language and run
 //! twice — once with naive instrumentation (a `registerptr` after every
 //! pointer store) and once with the optimized pass (hoisting + elision).
 //! Both runs must produce the same outcome (same trap or same return) and
-//! invalidate exactly the same number of pointers.
+//! invalidate exactly the same number of pointers. Cases come from the
+//! in-repo seeded [`SmallRng`] (formerly proptest).
 
 use std::sync::Arc;
 
@@ -14,8 +15,13 @@ use dangsan_instr::builder::FunctionBuilder;
 use dangsan_instr::interp::Trap;
 use dangsan_instr::ir::{BinOp, Operand, Program, Reg};
 use dangsan_instr::{instrument, Machine, PassOptions};
+use dangsan_vmem::rng::SmallRng;
 use dangsan_vmem::AddressSpace;
-use proptest::prelude::*;
+
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 128;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 1024;
 
 const SLOTS: i64 = 8;
 const OBJS: usize = 6;
@@ -34,16 +40,28 @@ enum Stmt {
     Deref { slot: i64 },
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        4 => (0..OBJS, 0..SLOTS).prop_map(|(obj, slot)| Stmt::Store { obj, slot }),
-        2 => (0..OBJS, 0..SLOTS, 1i64..6).prop_map(|(obj, slot, iters)| Stmt::LoopStore {
-            obj, slot, iters
-        }),
-        2 => (0..SLOTS).prop_map(|slot| Stmt::Increment { slot }),
-        2 => (0..OBJS).prop_map(|obj| Stmt::Free { obj }),
-        2 => (0..SLOTS).prop_map(|slot| Stmt::Deref { slot }),
-    ]
+fn random_stmt(rng: &mut SmallRng) -> Stmt {
+    // Weights match the original strategy: 4 store, 2 each for the rest.
+    match rng.gen_range(0u64..12) {
+        0..=3 => Stmt::Store {
+            obj: rng.gen_range(0usize..OBJS),
+            slot: rng.gen_range(0i64..SLOTS),
+        },
+        4 | 5 => Stmt::LoopStore {
+            obj: rng.gen_range(0usize..OBJS),
+            slot: rng.gen_range(0i64..SLOTS),
+            iters: rng.gen_range(1i64..6),
+        },
+        6 | 7 => Stmt::Increment {
+            slot: rng.gen_range(0i64..SLOTS),
+        },
+        8 | 9 => Stmt::Free {
+            obj: rng.gen_range(0usize..OBJS),
+        },
+        _ => Stmt::Deref {
+            slot: rng.gen_range(0i64..SLOTS),
+        },
+    }
 }
 
 /// Compiles a statement list into a one-function program.
@@ -119,24 +137,25 @@ fn run(prog: &Program, opts: PassOptions) -> (Result<Option<u64>, Trap>, StatsSn
     (r, det.stats())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn optimized_pass_detects_exactly_what_naive_does(
-        stmts in proptest::collection::vec(stmt_strategy(), 1..40),
-    ) {
+#[test]
+fn optimized_pass_detects_exactly_what_naive_does() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xEC41 + case);
+        let stmts: Vec<Stmt> = (0..rng.gen_range(1usize..40))
+            .map(|_| random_stmt(&mut rng))
+            .collect();
         let prog = compile(&stmts);
         prog.validate().expect("generated program valid");
         let (r_naive, s_naive) = run(&prog, PassOptions::naive());
         let (r_opt, s_opt) = run(&prog, PassOptions::optimized());
-        prop_assert_eq!(&r_naive, &r_opt, "outcomes diverge");
-        prop_assert_eq!(
+        assert_eq!(&r_naive, &r_opt, "outcomes diverge");
+        assert_eq!(
             s_naive.ptrs_invalidated, s_opt.ptrs_invalidated,
-            "invalidation sets diverge: naive={:?} opt={:?}", s_naive, s_opt
+            "invalidation sets diverge: naive={s_naive:?} opt={s_opt:?}"
         );
         // The optimizations only ever remove registrations.
-        prop_assert!(s_opt.ptrs_registered + s_opt.dup_ptrs
-            <= s_naive.ptrs_registered + s_naive.dup_ptrs);
+        assert!(
+            s_opt.ptrs_registered + s_opt.dup_ptrs <= s_naive.ptrs_registered + s_naive.dup_ptrs
+        );
     }
 }

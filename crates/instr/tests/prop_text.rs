@@ -1,11 +1,17 @@
-//! Property test: printing any generated program and re-parsing it yields
+//! Randomized test: printing any generated program and re-parsing it yields
 //! the identical program (the text format is lossless), and parsing never
-//! panics on mutated input.
+//! panics on mutated input. Cases come from the in-repo seeded
+//! [`SmallRng`] (formerly proptest).
 
 use dangsan_instr::builder::FunctionBuilder;
 use dangsan_instr::ir::{BinOp, Operand, Program, Reg, Ty};
 use dangsan_instr::text::{parse_program, print_program};
-use proptest::prelude::*;
+use dangsan_vmem::rng::SmallRng;
+
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 256;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 2048;
 
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -19,36 +25,53 @@ enum Stmt {
     Loop { iters: i64, obj: usize },
 }
 
-fn binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-    ]
+const BINOPS: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+];
+
+fn random_stmt(rng: &mut SmallRng) -> Stmt {
+    match rng.gen_range(0u64..8) {
+        0 => Stmt::Const(rng.next_u64() as i64),
+        1 => Stmt::Bin(
+            BINOPS[rng.gen_range(0usize..BINOPS.len())],
+            rng.next_u64() as usize,
+            rng.next_u64() as usize,
+        ),
+        2 => Stmt::Malloc(rng.gen_range(8u64..256)),
+        3 => Stmt::FreeLast,
+        4 => Stmt::StoreTo {
+            obj: rng.next_u64() as usize,
+            slot: rng.gen_range(0i64..4) * 8,
+            src: rng.next_u64() as usize,
+        },
+        5 => Stmt::LoadPtr {
+            obj: rng.next_u64() as usize,
+            off: rng.gen_range(0i64..4) * 8,
+        },
+        6 => Stmt::Gep {
+            obj: rng.next_u64() as usize,
+            off: rng.gen_range(0i64..64),
+        },
+        _ => Stmt::Loop {
+            iters: rng.gen_range(1i64..5),
+            obj: rng.next_u64() as usize,
+        },
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (any::<i64>()).prop_map(Stmt::Const),
-        (binop(), any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Stmt::Bin(op, a, b)),
-        (8u64..256).prop_map(Stmt::Malloc),
-        Just(Stmt::FreeLast),
-        (any::<usize>(), 0i64..4, any::<usize>()).prop_map(|(obj, slot, src)| Stmt::StoreTo {
-            obj,
-            slot: slot * 8,
-            src
-        }),
-        (any::<usize>(), 0i64..4).prop_map(|(obj, off)| Stmt::LoadPtr { obj, off: off * 8 }),
-        (any::<usize>(), 0i64..64).prop_map(|(obj, off)| Stmt::Gep { obj, off }),
-        (1i64..5, any::<usize>()).prop_map(|(iters, obj)| Stmt::Loop { iters, obj }),
-    ]
+fn random_stmts(rng: &mut SmallRng, max: usize) -> Vec<Stmt> {
+    (0..rng.gen_range(0usize..max))
+        .map(|_| random_stmt(rng))
+        .collect()
 }
 
 /// Compiles random statements into a guaranteed-valid program.
@@ -122,35 +145,52 @@ fn compile(stmts: &[Stmt]) -> Program {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_roundtrip(stmts in proptest::collection::vec(stmt(), 0..60)) {
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x70A5 + case);
+        let stmts = random_stmts(&mut rng, 60);
         let prog = compile(&stmts);
         prog.validate().expect("generated program valid");
         let text = print_program(&prog);
-        let reparsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(&prog, &reparsed, "round trip\n{}", text);
+        let reparsed =
+            parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(&prog, &reparsed, "round trip\n{text}");
         // Idempotence: printing the reparsed program is identical text.
-        prop_assert_eq!(text.clone(), print_program(&reparsed));
+        assert_eq!(text, print_program(&reparsed));
     }
+}
 
-    /// The parser returns errors (never panics) on arbitrary text.
-    #[test]
-    fn parser_never_panics(garbage in "[ -~\n]{0,400}") {
+/// The parser returns errors (never panics) on arbitrary printable text.
+#[test]
+fn parser_never_panics() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6A4B + case);
+        let len = rng.gen_range(0usize..400);
+        let garbage: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, matching "[ -~\n]".
+                let c = rng.gen_range(0u32..96);
+                if c == 95 {
+                    '\n'
+                } else {
+                    char::from(32 + c as u8)
+                }
+            })
+            .collect();
         let _ = parse_program(&garbage);
     }
+}
 
-    /// Mutating one byte of valid program text either still parses or
-    /// produces a located error — never a panic.
-    #[test]
-    fn single_byte_mutations_are_handled(
-        stmts in proptest::collection::vec(stmt(), 0..20),
-        pos in any::<usize>(),
-        byte in 32u8..127,
-    ) {
+/// Mutating one byte of valid program text either still parses or
+/// produces a located error — never a panic.
+#[test]
+fn single_byte_mutations_are_handled() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3B17 + case);
+        let stmts = random_stmts(&mut rng, 20);
+        let pos = rng.next_u64() as usize;
+        let byte = rng.gen_range(32u32..127) as u8;
         let prog = compile(&stmts);
         let mut text = print_program(&prog).into_bytes();
         if !text.is_empty() {

@@ -28,13 +28,87 @@
 //! Entries store an opaque `u64` metadata value (the detector stores a
 //! pointer to its per-object record). Zero means "no object".
 
-use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::cell::Cell;
 use std::ptr;
 
 use dangsan_vmem::{Addr, HEAP_BASE, HEAP_SIZE, PAGE_SHIFT, PAGE_SIZE};
 
 const FANOUT: usize = 1 << 12;
 const L1_COUNT: usize = (HEAP_SIZE >> PAGE_SHIFT) as usize / FANOUT;
+
+/// Entries in the per-thread `ptr2obj` translation cache (power of two).
+const P2O_SLOTS: usize = 64;
+
+/// One cached (heap page → packed metapagetable entry) translation.
+///
+/// Validity is a single stamp compare: stamps come from a global
+/// never-reused counter, and a table takes a fresh stamp on every
+/// `clear_object`, so a slot whose stamp equals the table's *current*
+/// stamp was filled by this very table with no object clear since. Leaf
+/// entries are written exactly once by [`MetaPageTable::register_span`]
+/// (CAS from zero, "spans never change class") and freed only on drop, so
+/// a cached packed entry for a live table can never dangle; the stamp
+/// check is defence in depth that also gives `clear_object` a whole-cache
+/// flush, keeping the cache's observable behaviour identical to the
+/// uncached walk even if that invariant ever weakens.
+#[derive(Clone, Copy)]
+struct P2oSlot {
+    /// The filling table's `cache_stamp` at fill time; 0 is never issued.
+    stamp: u64,
+    /// Global heap page index the entry translates.
+    page: u64,
+    /// The packed (array pointer | shift) leaf entry.
+    entry: u64,
+}
+
+impl P2oSlot {
+    const EMPTY: P2oSlot = P2oSlot {
+        stamp: 0,
+        page: 0,
+        entry: 0,
+    };
+}
+
+struct ThreadP2o {
+    slots: [Cell<P2oSlot>; P2O_SLOTS],
+    pending_stamp: Cell<u64>,
+    pending_hits: Cell<u64>,
+}
+
+/// Hits are batched per thread and flushed to the table's counter after
+/// this many (and on every miss), keeping a shared `fetch_add` off the
+/// instrumented-store fast path.
+const HIT_FLUSH_EVERY: u64 = 64;
+
+thread_local! {
+    static P2O: ThreadP2o = const {
+        ThreadP2o {
+            slots: [const { Cell::new(P2oSlot::EMPTY) }; P2O_SLOTS],
+            pending_stamp: Cell::new(0),
+            pending_hits: Cell::new(0),
+        }
+    };
+}
+
+/// Stamps are handed out once and never reused (across all tables), so a
+/// stale thread-local entry — from a dropped table, another table, or this
+/// table before a `clear_object` — can never match.
+static NEXT_P2O_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_p2o_stamp() -> u64 {
+    NEXT_P2O_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Hit/miss counters for a table's per-thread `ptr2obj` caches (see
+/// [`MetaPageTable::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct P2oCacheStats {
+    /// Lookups whose leaf entry came from the calling threads' caches.
+    pub hits: u64,
+    /// Lookups that walked the two metapagetable levels.
+    pub misses: u64,
+}
 
 /// Packs a metadata-array pointer (≤ 56 bits on every supported platform)
 /// and a shift into one metapagetable entry, exactly as the paper's Figure 5
@@ -67,6 +141,14 @@ pub struct MetaPageTable {
     l1: Box<[AtomicPtr<Leaf>]>,
     /// Host bytes spent on leaves + metadata arrays (for Figure 11/12).
     shadow_bytes: AtomicU64,
+    /// This table's current cache validity stamp (see [`P2oSlot`]):
+    /// globally unique, replaced on every `clear_object`, which flushes
+    /// all cached translations at once.
+    cache_stamp: AtomicU64,
+    /// Runtime kill switch used by the hot-path benchmarks.
+    cache_enabled: AtomicBool,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 // SAFETY: all shared state is accessed through atomics; raw pointers are
@@ -89,6 +171,10 @@ impl MetaPageTable {
                 .map(|_| AtomicPtr::new(ptr::null_mut()))
                 .collect(),
             shadow_bytes: AtomicU64::new(0),
+            cache_stamp: AtomicU64::new(fresh_p2o_stamp()),
+            cache_enabled: AtomicBool::new(true),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -198,25 +284,113 @@ impl MetaPageTable {
 
     /// Clears the object mapping for `[base, base + len)` (called on free).
     pub fn clear_object(&self, base: Addr, len: u64) {
+        // Flush every thread's cached translations before the slots are
+        // zeroed, so a cache filled before this free cannot be mistaken
+        // for one filled after a later reuse of the same pages.
+        self.cache_stamp.store(fresh_p2o_stamp(), Ordering::Release);
         self.set_object(base, len, 0);
     }
 
-    /// `ptr2obj` (paper §4.3, Figure 5): two dependent loads mapping any
-    /// interior pointer to its object's metadata value, or `None`.
+    /// `ptr2obj` (paper §4.3, Figure 5): maps any interior pointer to its
+    /// object's metadata value, or `None`.
+    ///
+    /// The uncached walk is two dependent loads (leaf pointer, packed
+    /// entry) plus the metadata-array load. A per-thread direct-mapped
+    /// cache memoizes the first two; the array load always happens, which
+    /// is what keeps pages holding many small objects — and object
+    /// clears — exactly as precise as the full walk.
     #[inline]
     pub fn lookup(&self, addr: Addr) -> Option<u64> {
         let idx = Self::page_index(addr)?;
-        let leaf = self.leaf(idx / FANOUT, false)?;
-        let entry = leaf.entries[idx % FANOUT].load(Ordering::Acquire);
-        if entry == 0 {
-            return None;
-        }
+        let entry = self.entry_for_page(idx)?;
         let (array, shift) = unpack_entry(entry);
         let slot = ((addr & (PAGE_SIZE - 1)) >> shift) as usize;
         // SAFETY: the array has `PAGE_SIZE >> shift` slots and
         // `addr & 0xFFF >> shift` is below that bound.
         let meta = unsafe { (*array.add(slot)).load(Ordering::Acquire) };
         (meta != 0).then_some(meta)
+    }
+
+    /// Resolves the packed leaf entry for global heap page `idx`, consulting
+    /// the calling thread's cache first.
+    #[inline]
+    fn entry_for_page(&self, idx: usize) -> Option<u64> {
+        if !self.cache_enabled.load(Ordering::Relaxed) {
+            return self.entry_walk(idx);
+        }
+        let slot_idx = idx & (P2O_SLOTS - 1);
+        P2O.with(|cache| {
+            let slot = cache.slots[slot_idx].get();
+            let stamp = self.cache_stamp.load(Ordering::Acquire);
+            if slot.stamp == stamp && slot.page == idx as u64 {
+                self.note_cache_hit(cache, stamp);
+                return Some(slot.entry);
+            }
+            self.flush_pending_hits(cache);
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let entry = self.entry_walk(idx)?;
+            // Unregistered pages (None) are never cached: registration
+            // must become visible on the very next lookup.
+            cache.slots[slot_idx].set(P2oSlot {
+                stamp,
+                page: idx as u64,
+                entry,
+            });
+            Some(entry)
+        })
+    }
+
+    /// The uncached two-level walk.
+    #[inline]
+    fn entry_walk(&self, idx: usize) -> Option<u64> {
+        let leaf = self.leaf(idx / FANOUT, false)?;
+        let entry = leaf.entries[idx % FANOUT].load(Ordering::Acquire);
+        (entry != 0).then_some(entry)
+    }
+
+    #[inline]
+    fn note_cache_hit(&self, cache: &ThreadP2o, stamp: u64) {
+        if cache.pending_stamp.get() != stamp {
+            cache.pending_stamp.set(stamp);
+            cache.pending_hits.set(0);
+        }
+        let n = cache.pending_hits.get() + 1;
+        if n >= HIT_FLUSH_EVERY {
+            self.cache_hits.fetch_add(n, Ordering::Relaxed);
+            cache.pending_hits.set(0);
+        } else {
+            cache.pending_hits.set(n);
+        }
+    }
+
+    fn flush_pending_hits(&self, cache: &ThreadP2o) {
+        if cache.pending_stamp.get() == self.cache_stamp.load(Ordering::Acquire) {
+            let n = cache.pending_hits.get();
+            if n > 0 {
+                self.cache_hits.fetch_add(n, Ordering::Relaxed);
+                cache.pending_hits.set(0);
+            }
+        }
+    }
+
+    /// `ptr2obj`-cache hit/miss counters for this table.
+    ///
+    /// The calling thread's pending hit batch is flushed first, so
+    /// single-threaded counts are exact; concurrent threads may each lag
+    /// by one unflushed batch.
+    pub fn cache_stats(&self) -> P2oCacheStats {
+        P2O.with(|cache| self.flush_pending_hits(cache));
+        P2oCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enables or disables the per-thread `ptr2obj` cache at runtime (it
+    /// starts enabled). Behaviour is identical either way; the hot-path
+    /// benchmarks use this to measure both configurations in one process.
+    pub fn set_cache_enabled(&self, on: bool) {
+        self.cache_enabled.store(on, Ordering::Relaxed);
     }
 
     /// Host bytes consumed by the shadow structures.
@@ -353,6 +527,57 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn warm_cache_resolves_recycled_page_to_new_object() {
+        let t = MetaPageTable::new();
+        t.register_span(HEAP_BASE, 1, 6); // 64-byte slots
+        t.set_object(HEAP_BASE, 64, 0x0_1D1);
+        // Warm the thread-local cache on this page.
+        for _ in 0..10 {
+            assert_eq!(t.lookup(HEAP_BASE + 8), Some(0x0_1D1));
+        }
+        // Free the object and recycle its slots for a new one, as the
+        // allocator does when a span's object is reused.
+        t.clear_object(HEAP_BASE, 64);
+        assert_eq!(t.lookup(HEAP_BASE + 8), None, "freed object resolves");
+        t.set_object(HEAP_BASE, 64, 0x0_2E2);
+        // A still-warm cache must yield the NEW object's metadata.
+        assert_eq!(t.lookup(HEAP_BASE + 8), Some(0x0_2E2));
+        assert_eq!(t.lookup(HEAP_BASE + 63), Some(0x0_2E2));
+    }
+
+    #[test]
+    fn cache_hits_accumulate_and_disable_works() {
+        let t = MetaPageTable::new();
+        t.register_span(HEAP_BASE, 1, 4);
+        t.set_object(HEAP_BASE, 16, 9);
+        for _ in 0..1000 {
+            assert_eq!(t.lookup(HEAP_BASE), Some(9));
+        }
+        let s = t.cache_stats();
+        assert!(s.hits >= 990, "repeated lookups should hit: {s:?}");
+        assert!(s.misses >= 1);
+        t.set_cache_enabled(false);
+        for _ in 0..100 {
+            assert_eq!(t.lookup(HEAP_BASE), Some(9));
+        }
+        assert_eq!(t.cache_stats(), s, "disabled cache counts nothing");
+    }
+
+    #[test]
+    fn cache_entries_do_not_leak_across_tables() {
+        let a = MetaPageTable::new();
+        let b = MetaPageTable::new();
+        a.register_span(HEAP_BASE, 1, 4);
+        a.set_object(HEAP_BASE, 16, 1);
+        assert_eq!(a.lookup(HEAP_BASE), Some(1)); // warm A
+        assert_eq!(b.lookup(HEAP_BASE), None, "B has nothing registered");
+        b.register_span(HEAP_BASE, 1, 12);
+        b.set_object(HEAP_BASE, 16, 2);
+        assert_eq!(a.lookup(HEAP_BASE), Some(1));
+        assert_eq!(b.lookup(HEAP_BASE), Some(2));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 mod bump;
 mod layout;
+pub mod rng;
 mod space;
 
 pub use bump::BumpSegment;
@@ -30,7 +31,7 @@ pub use layout::{
     canonical, is_canonical_user, page_of, word_index, Addr, GLOBALS_BASE, GLOBALS_SIZE, HEAP_BASE,
     HEAP_SIZE, INVALID_BIT, PAGE_SHIFT, PAGE_SIZE, STACKS_BASE, STACKS_SIZE, WORDS_PER_PAGE,
 };
-pub use space::{AddressSpace, CasOutcome};
+pub use space::{AddressSpace, CasOutcome, TlbStats};
 
 /// The kind of memory fault produced by an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,194 @@
+//! A small deterministic PRNG (xorshift64*), replacing the external `rand`
+//! crate so the workspace builds with no network access.
+//!
+//! The workload generators and the randomized tests only need fast,
+//! seed-reproducible pseudo-randomness — no cryptographic strength, no
+//! distribution zoo. xorshift64* (Vigna, "An experimental exploration of
+//! Marsaglia's xorshift generators, scrambled") passes the statistical
+//! tests that matter at this scale and is four instructions per draw.
+//!
+//! The API deliberately mirrors the subset of `rand::rngs::SmallRng` the
+//! repository used (`seed_from_u64`, `gen_bool`, `gen_range` over integer
+//! and float ranges), so call sites read the same.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Seedable xorshift64* generator, API-compatible with the subset of
+/// `rand::rngs::SmallRng` used by the workloads.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // Mix the seed through splitmix64 so that nearby seeds (0, 1, 2…)
+        // do not produce correlated initial states; xorshift also requires
+        // a non-zero state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SmallRng {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next raw 64-bit draw (xorshift64*).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of a draw).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from `range`, like `rand`'s `gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+/// Uniform `u64` in `[lo, hi)` without modulo bias worth caring about at
+/// workload scale: Lemire's multiply-shift reduction.
+#[inline]
+fn u64_below(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + u64_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + u64_below(rng, span + 1)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + u64_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut SmallRng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        self.start
+            .wrapping_add(u64_below(rng, self.end.wrapping_sub(self.start) as u64) as i64)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + u64_below(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = r.gen_range(5usize..6);
+            assert_eq!(v, 5);
+            let v = r.gen_range(0u64..=3);
+            assert!(v <= 3);
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "got {hits}");
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn uniformish_buckets() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(0usize..8)] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "skewed: {buckets:?}");
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! entire point is that pointer tracking adds no locks, so the substrate
 //! underneath it must not add any either.
 
-use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::cell::Cell;
 use std::ptr;
 
 use crate::layout::{
@@ -39,6 +40,88 @@ impl Page {
 }
 
 const FANOUT: usize = 1 << 12;
+
+/// Number of entries in the per-thread software TLB (a power of two).
+///
+/// 64 direct-mapped entries cover 256 KiB of working set per thread, which
+/// captures the instrumented-store hot path (the pointer slab, the log
+/// arena and the object being written all live on a handful of pages)
+/// while keeping the whole structure inside two cache lines of metadata.
+const TLB_SLOTS: usize = 64;
+
+/// One direct-mapped TLB entry: (validity stamp, page number) → raw page
+/// pointer.
+///
+/// The stamp fuses the space's identity and its invalidation generation
+/// into one word: stamps are drawn from a global never-reused counter, and
+/// a space takes a fresh stamp on every `unmap`. A slot whose stamp equals
+/// the space's *current* stamp was therefore filled by this very space
+/// with no unmap since — one compare where an (id, generation) pair would
+/// need two.
+#[derive(Clone, Copy)]
+struct TlbSlot {
+    /// The filling space's `tlb_stamp` at fill time; 0 is never issued, so
+    /// zeroed slots can never hit.
+    stamp: u64,
+    /// Virtual page number the entry translates.
+    page: u64,
+    /// The translation itself.
+    ptr: *const Page,
+}
+
+impl TlbSlot {
+    const EMPTY: TlbSlot = TlbSlot {
+        stamp: 0,
+        page: 0,
+        ptr: ptr::null(),
+    };
+}
+
+/// Per-thread translation state: the direct-mapped slot array plus a small
+/// batch of hit counts not yet flushed to the owning space's atomic
+/// counter (flushing every hit would put a contended `fetch_add` back on
+/// the path the TLB exists to shorten).
+struct ThreadTlb {
+    slots: [Cell<TlbSlot>; TLB_SLOTS],
+    /// Stamp of the space the pending hit count belongs to.
+    pending_stamp: Cell<u64>,
+    /// Hits accumulated since the last flush (< `HIT_FLUSH_EVERY`).
+    pending_hits: Cell<u64>,
+}
+
+/// Pending hits are published to the space after this many accumulate (and
+/// on every miss), so counters lag true counts by a bounded, deterministic
+/// amount.
+const HIT_FLUSH_EVERY: u64 = 64;
+
+thread_local! {
+    static TLB: ThreadTlb = const {
+        ThreadTlb {
+            slots: [const { Cell::new(TlbSlot::EMPTY) }; TLB_SLOTS],
+            pending_stamp: Cell::new(0),
+            pending_hits: Cell::new(0),
+        }
+    };
+}
+
+/// Stamps are handed out once and never reused (across all spaces), so a
+/// stale TLB entry — from a dropped space, another space, or this space
+/// before an `unmap` — can never match.
+static NEXT_TLB_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_tlb_stamp() -> u64 {
+    NEXT_TLB_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Hit/miss counters for a space's software TLB (see
+/// [`AddressSpace::tlb_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Word accesses resolved from the calling threads' TLBs.
+    pub hits: u64,
+    /// Word accesses that walked the radix tree (including faulting ones).
+    pub misses: u64,
+}
 
 /// Interior radix node: 4096 child pointers.
 struct Node<C> {
@@ -116,6 +199,16 @@ pub enum CasOutcome {
 pub struct AddressSpace {
     root: Box<Node<Node<Node<Page>>>>,
     mapped_pages: AtomicUsize,
+    /// This space's current TLB validity stamp (see [`TlbSlot`]): globally
+    /// unique, replaced with a fresh one on every `unmap`, so entries
+    /// filled before the unmap stop matching — restoring fault-on-access
+    /// semantics without touching other threads' TLBs.
+    tlb_stamp: AtomicU64,
+    /// Runtime kill switch for the TLB, used by the hot-path benchmarks to
+    /// measure the uncached walk on the same binary.
+    tlb_enabled: AtomicBool,
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
 }
 
 // SAFETY: all interior mutability is through atomics; raw child pointers are
@@ -137,6 +230,10 @@ impl AddressSpace {
         AddressSpace {
             root: Node::new(),
             mapped_pages: AtomicUsize::new(0),
+            tlb_stamp: AtomicU64::new(fresh_tlb_stamp()),
+            tlb_enabled: AtomicBool::new(true),
+            tlb_hits: AtomicU64::new(0),
+            tlb_misses: AtomicU64::new(0),
         }
     }
 
@@ -171,6 +268,96 @@ impl AddressSpace {
         // `unmap` requires the caller to guarantee no concurrent access to
         // the unmapped range (mirroring real munmap semantics).
         Some(unsafe { &*page })
+    }
+
+    /// [`Self::lookup_page`] with a per-thread software TLB in front of
+    /// the radix walk. This is the translation used by every word access:
+    /// on a hit, the three dependent tree loads collapse into one slot
+    /// compare plus one generation load.
+    #[inline]
+    fn lookup_page_fast(&self, addr: Addr) -> Option<&Page> {
+        if !self.tlb_enabled.load(Ordering::Relaxed) {
+            return self.lookup_page(addr);
+        }
+        let page_no = page_of(addr);
+        let idx = (page_no as usize) & (TLB_SLOTS - 1);
+        TLB.with(|tlb| {
+            let slot = tlb.slots[idx].get();
+            let stamp = self.tlb_stamp.load(Ordering::Acquire);
+            if slot.stamp == stamp && slot.page == page_no {
+                self.note_tlb_hit(tlb, stamp);
+                // SAFETY: stamps are never reused, so a matching stamp
+                // proves this very space (alive through `&self`) filled
+                // the slot and no `unmap` intervened — the page is still
+                // mapped. The space never frees a page before `Drop`
+                // (`unmap` quarantines), so the pointer is live.
+                return Some(unsafe { &*slot.ptr });
+            }
+            self.flush_pending_hits(tlb);
+            self.tlb_misses.fetch_add(1, Ordering::Relaxed);
+            let page = self.lookup_page(addr)?;
+            // Negative results are never cached: a later `map` must be
+            // visible immediately. `stamp` was read before the walk, so a
+            // racing unmap at worst stores an entry that can no longer
+            // match.
+            tlb.slots[idx].set(TlbSlot {
+                stamp,
+                page: page_no,
+                ptr: page as *const Page,
+            });
+            Some(page)
+        })
+    }
+
+    /// Records one TLB hit, batching per thread to keep a shared
+    /// `fetch_add` off the fast path. Counts pending for a *different*
+    /// stamp (another space, or this space before an unmap) are dropped
+    /// rather than flushed — that space may already be gone, and the loss
+    /// is bounded and deterministic.
+    #[inline]
+    fn note_tlb_hit(&self, tlb: &ThreadTlb, stamp: u64) {
+        if tlb.pending_stamp.get() != stamp {
+            tlb.pending_stamp.set(stamp);
+            tlb.pending_hits.set(0);
+        }
+        let n = tlb.pending_hits.get() + 1;
+        if n >= HIT_FLUSH_EVERY {
+            self.tlb_hits.fetch_add(n, Ordering::Relaxed);
+            tlb.pending_hits.set(0);
+        } else {
+            tlb.pending_hits.set(n);
+        }
+    }
+
+    fn flush_pending_hits(&self, tlb: &ThreadTlb) {
+        if tlb.pending_stamp.get() == self.tlb_stamp.load(Ordering::Acquire) {
+            let n = tlb.pending_hits.get();
+            if n > 0 {
+                self.tlb_hits.fetch_add(n, Ordering::Relaxed);
+                tlb.pending_hits.set(0);
+            }
+        }
+    }
+
+    /// Software-TLB hit/miss counters for this space.
+    ///
+    /// The calling thread's pending hit batch is flushed first, so after a
+    /// single-threaded workload the numbers are exact; with concurrent
+    /// threads, up to one unflushed batch per other thread may be missing.
+    pub fn tlb_stats(&self) -> TlbStats {
+        TLB.with(|tlb| self.flush_pending_hits(tlb));
+        TlbStats {
+            hits: self.tlb_hits.load(Ordering::Relaxed),
+            misses: self.tlb_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enables or disables the software TLB at runtime (it starts
+    /// enabled). Disabling sends every access back through the full radix
+    /// walk; behaviour is identical either way. Used by the hot-path
+    /// benchmarks to measure both configurations in one process.
+    pub fn set_tlb_enabled(&self, on: bool) {
+        self.tlb_enabled.store(on, Ordering::Relaxed);
     }
 
     /// Maps `len` bytes starting at `addr` (rounded out to page boundaries),
@@ -214,6 +401,11 @@ impl AddressSpace {
     /// freed immediately.
     pub fn unmap(&self, addr: Addr, len: u64) -> Result<(), MapError> {
         let (first, last) = range_pages(addr, len)?;
+        // Invalidate every thread's cached translations for this space
+        // before any page is detached: a fresh stamp makes every existing
+        // slot a mismatch, so no thread that observes it can still reach a
+        // page this call unmaps.
+        self.tlb_stamp.store(fresh_tlb_stamp(), Ordering::Release);
         for p in first..=last {
             let (i0, i1, i2) = Self::indices(p);
             let l1 = self.root.get(i0);
@@ -270,7 +462,7 @@ impl AddressSpace {
                 addr,
             });
         }
-        let page = self.lookup_page(addr).ok_or(MemFault {
+        let page = self.lookup_page_fast(addr).ok_or(MemFault {
             kind: FaultKind::Unmapped,
             addr,
         })?;
@@ -581,6 +773,98 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tlb_hits_on_repeated_access() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        for i in 0..1000u64 {
+            mem.write_word(HEAP_BASE, i).unwrap();
+        }
+        let s = mem.tlb_stats();
+        assert!(s.hits >= 990, "repeated same-page stores should hit: {s:?}");
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn unmap_then_access_through_warm_tlb_faults() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        // Warm the TLB entry for the page.
+        mem.write_word(HEAP_BASE, 7).unwrap();
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 7);
+        mem.unmap(HEAP_BASE, PAGE_SIZE).unwrap();
+        // The warm entry must not resurrect the unmapped page.
+        assert_eq!(
+            mem.read_word(HEAP_BASE).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+    }
+
+    #[test]
+    fn remap_after_unmap_reaches_fresh_page() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.write_word(HEAP_BASE, 0xAA).unwrap(); // warm entry, old page
+        mem.unmap(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        // The new page starts zeroed; a stale translation would still see
+        // 0xAA in the quarantined old page.
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 0);
+        mem.write_word(HEAP_BASE, 0xBB).unwrap();
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 0xBB);
+    }
+
+    #[test]
+    fn tlb_entries_do_not_leak_across_spaces() {
+        let a = AddressSpace::new();
+        let b = AddressSpace::new();
+        a.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        a.write_word(HEAP_BASE, 1).unwrap(); // warm A's translation
+        // Same thread, same page number, different space: must fault, not
+        // hit A's cached page.
+        assert_eq!(
+            b.read_word(HEAP_BASE).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+        b.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        b.write_word(HEAP_BASE, 2).unwrap();
+        assert_eq!(a.read_word(HEAP_BASE).unwrap(), 1);
+        assert_eq!(b.read_word(HEAP_BASE).unwrap(), 2);
+    }
+
+    #[test]
+    fn disabled_tlb_counts_nothing_and_stays_correct() {
+        let mem = AddressSpace::new();
+        mem.set_tlb_enabled(false);
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        for i in 0..100u64 {
+            mem.write_word(HEAP_BASE + (i % 8) * 8, i).unwrap();
+        }
+        let s = mem.tlb_stats();
+        assert_eq!(s, TlbStats::default());
+        // Re-enabling resumes caching without correctness loss.
+        mem.set_tlb_enabled(true);
+        assert_eq!(mem.read_word(HEAP_BASE + 56).unwrap(), 95);
+        assert!(mem.tlb_stats().misses >= 1);
+    }
+
+    #[test]
+    fn tlb_survives_conflict_evictions() {
+        let mem = AddressSpace::new();
+        // Two pages that collide in the direct-mapped array (same index
+        // modulo TLB_SLOTS) keep evicting each other; values must stay
+        // correct throughout.
+        let far = HEAP_BASE + (TLB_SLOTS as u64) * PAGE_SIZE;
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        mem.map(far, PAGE_SIZE).unwrap();
+        for i in 0..200u64 {
+            mem.write_word(HEAP_BASE, i).unwrap();
+            mem.write_word(far, i + 1_000_000).unwrap();
+            assert_eq!(mem.read_word(HEAP_BASE).unwrap(), i);
+            assert_eq!(mem.read_word(far).unwrap(), i + 1_000_000);
         }
     }
 

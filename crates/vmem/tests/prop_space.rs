@@ -1,76 +1,126 @@
-//! Property tests for the simulated address space.
+//! Randomized reference-model tests for the simulated address space.
+//!
+//! Formerly written with `proptest`; now driven by the in-repo seeded
+//! [`SmallRng`] so the suite builds offline. Each test runs a fixed number
+//! of deterministic random cases (more with `--features heavy-tests`).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dangsan_vmem::rng::SmallRng;
 use dangsan_vmem::{AddressSpace, CasOutcome, FaultKind, HEAP_BASE, PAGE_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    /// Arbitrary interleavings of word writes over a mapped window read back
-    /// exactly what a reference HashMap model says they should.
-    #[test]
-    fn writes_match_reference_model(ops in proptest::collection::vec((0u64..2048, any::<u64>()), 1..200)) {
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 48;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 512;
+
+/// Arbitrary interleavings of word writes over a mapped window read back
+/// exactly what a reference HashMap model says they should.
+#[test]
+fn writes_match_reference_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5ACE + case);
         let mem = AddressSpace::new();
         mem.map(HEAP_BASE, 4 * PAGE_SIZE).unwrap();
         let mut model: HashMap<u64, u64> = HashMap::new();
-        for (slot, val) in ops {
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            let slot = rng.gen_range(0u64..2048);
+            let val = rng.next_u64();
             let addr = HEAP_BASE + slot * 8;
             mem.write_word(addr, val).unwrap();
             model.insert(addr, val);
         }
         for (addr, val) in model {
-            prop_assert_eq!(mem.read_word(addr).unwrap(), val);
+            assert_eq!(mem.read_word(addr).unwrap(), val);
         }
     }
+}
 
-    /// Byte writes never disturb neighbouring bytes.
-    #[test]
-    fn byte_writes_are_isolated(base_word in any::<u64>(), idx in 0u64..8, b in any::<u8>()) {
+/// Byte writes never disturb neighbouring bytes.
+#[test]
+fn byte_writes_are_isolated() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB17E + case);
+        let base_word = rng.next_u64();
+        let idx = rng.gen_range(0u64..8);
+        let b = rng.next_u64() as u8;
         let mem = AddressSpace::new();
         mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
         mem.write_word(HEAP_BASE, base_word).unwrap();
         mem.write_u8(HEAP_BASE + idx, b).unwrap();
         for i in 0..8u64 {
-            let expect = if i == idx { b } else { (base_word >> (i * 8)) as u8 };
-            prop_assert_eq!(mem.read_u8(HEAP_BASE + i).unwrap(), expect);
+            let expect = if i == idx {
+                b
+            } else {
+                (base_word >> (i * 8)) as u8
+            };
+            assert_eq!(mem.read_u8(HEAP_BASE + i).unwrap(), expect);
         }
     }
+}
 
-    /// CAS either stores exactly the new value or reports the actual one.
-    #[test]
-    fn cas_is_consistent(initial in any::<u64>(), expected in any::<u64>(), new in any::<u64>()) {
+/// CAS either stores exactly the new value or reports the actual one.
+#[test]
+fn cas_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCA5 + case);
+        let initial = rng.next_u64();
+        // Half the cases use a matching expectation so both arms are hit.
+        let expected = if rng.gen_bool(0.5) {
+            initial
+        } else {
+            rng.next_u64()
+        };
+        let new = rng.next_u64();
         let mem = AddressSpace::new();
         mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
         mem.write_word(HEAP_BASE, initial).unwrap();
         match mem.cas_word(HEAP_BASE, expected, new).unwrap() {
             CasOutcome::Stored => {
-                prop_assert_eq!(initial, expected);
-                prop_assert_eq!(mem.read_word(HEAP_BASE).unwrap(), new);
+                assert_eq!(initial, expected);
+                assert_eq!(mem.read_word(HEAP_BASE).unwrap(), new);
             }
             CasOutcome::Conflict { actual } => {
-                prop_assert_ne!(initial, expected);
-                prop_assert_eq!(actual, initial);
-                prop_assert_eq!(mem.read_word(HEAP_BASE).unwrap(), initial);
+                assert_ne!(initial, expected);
+                assert_eq!(actual, initial);
+                assert_eq!(mem.read_word(HEAP_BASE).unwrap(), initial);
             }
         }
     }
+}
 
-    /// Any access outside mapped pages faults as Unmapped; any bit-63
-    /// address faults as NonCanonical regardless of mapping.
-    #[test]
-    fn fault_kinds(offset_pages in 2u64..1000) {
+/// Any access outside mapped pages faults as Unmapped; any bit-63 address
+/// faults as NonCanonical regardless of mapping.
+#[test]
+fn fault_kinds() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xFA17 + case);
+        let offset_pages = rng.gen_range(2u64..1000);
         let mem = AddressSpace::new();
         mem.map(HEAP_BASE, 2 * PAGE_SIZE).unwrap();
         let outside = HEAP_BASE + offset_pages * PAGE_SIZE;
-        prop_assert_eq!(mem.read_word(outside).unwrap_err().kind, FaultKind::Unmapped);
-        let poisoned = (HEAP_BASE) | (1 << 63);
-        prop_assert_eq!(mem.read_word(poisoned).unwrap_err().kind, FaultKind::NonCanonical);
+        assert_eq!(
+            mem.read_word(outside).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+        let poisoned = HEAP_BASE | (1 << 63);
+        assert_eq!(
+            mem.read_word(poisoned).unwrap_err().kind,
+            FaultKind::NonCanonical
+        );
     }
+}
 
-    /// copy() moves arbitrary word blocks faithfully.
-    #[test]
-    fn copy_faithful(words in proptest::collection::vec(any::<u64>(), 1..256)) {
+/// copy() moves arbitrary word blocks faithfully.
+#[test]
+fn copy_faithful() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC0B7 + case);
+        let words: Vec<u64> = (0..rng.gen_range(1usize..256))
+            .map(|_| rng.next_u64())
+            .collect();
         let mem = AddressSpace::new();
         mem.map(HEAP_BASE, 8 * PAGE_SIZE).unwrap();
         for (i, w) in words.iter().enumerate() {
@@ -79,7 +129,7 @@ proptest! {
         let dst = HEAP_BASE + 4 * PAGE_SIZE;
         mem.copy(HEAP_BASE, dst, words.len() as u64 * 8).unwrap();
         for (i, w) in words.iter().enumerate() {
-            prop_assert_eq!(mem.read_word(dst + i as u64 * 8).unwrap(), *w);
+            assert_eq!(mem.read_word(dst + i as u64 * 8).unwrap(), *w);
         }
     }
 }

@@ -14,8 +14,7 @@ use std::time::Instant;
 
 use dangsan::{Detector, HookedHeap};
 use dangsan_vmem::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dangsan_vmem::rng::SmallRng;
 
 use crate::cost::spin;
 use crate::profiles::ServerProfile;

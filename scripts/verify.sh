@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build/tests plus a quick hot-path bench pass
+# gated against the committed BENCH_hotpath.json baseline.
+#
+# Usage: scripts/verify.sh
+#
+# Fails if the tier-1 suite fails, or if the registerptr cache speedup
+# (caches-on / caches-off within the same run, so machine-load noise
+# cancels) regresses more than 20% below the committed baseline's.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== hotpath --quick =="
+tmp_json=$(mktemp /tmp/hotpath.XXXXXX.json)
+trap 'rm -f "$tmp_json"' EXIT
+cargo run --release -p dangsan-bench --bin hotpath -- --quick --out "$tmp_json"
+
+baseline=BENCH_hotpath.json
+if [[ ! -f "$baseline" ]]; then
+    echo "verify: no committed $baseline — run the full bench and commit it:" >&2
+    echo "    cargo run --release -p dangsan-bench --bin hotpath" >&2
+    exit 1
+fi
+
+# Extract one bench's cache speedup from a hotpath JSON: the value on
+# the first "speedup" line after the bench's key.
+speedup_of() {
+    awk -v bench="\"$2\"" '
+        index($0, bench) { in_bench = 1 }
+        in_bench && /"speedup"/ {
+            gsub(/[",]/, "", $2); print $2; exit
+        }
+    ' "$1"
+}
+
+status=0
+for bench in registerptr ptr2obj malloc_free invalidate; do
+    base=$(speedup_of "$baseline" "$bench")
+    now=$(speedup_of "$tmp_json" "$bench")
+    if [[ -z "$base" || -z "$now" ]]; then
+        echo "verify: could not parse $bench speedup (baseline='$base', current='$now')" >&2
+        exit 1
+    fi
+    awk -v bench="$bench" -v base="$base" -v now="$now" 'BEGIN {
+        floor = 0.8 * base
+        if (now < floor) {
+            printf "verify: FAIL — %s cache speedup regressed >20%% (%.2f < floor %.2f, baseline %.2f)\n", bench, now, floor, base
+            exit 1
+        }
+        printf "verify: %-12s OK — speedup %.2f within 20%% of baseline %.2f\n", bench, now, base
+    }' || status=1
+done
+[[ $status -eq 0 ]] || exit 1
+
+echo "verify: all checks passed"

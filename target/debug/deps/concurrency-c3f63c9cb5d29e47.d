@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-c3f63c9cb5d29e47.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-c3f63c9cb5d29e47: tests/concurrency.rs
+
+tests/concurrency.rs:

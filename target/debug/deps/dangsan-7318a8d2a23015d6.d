@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dangsan-7318a8d2a23015d6.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libdangsan-7318a8d2a23015d6.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libdangsan-7318a8d2a23015d6.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/compress.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/hooked.rs:
+crates/core/src/log.rs:
+crates/core/src/object.rs:
+crates/core/src/pool.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dangsan_baselines-51b7b1ade874a6b0.d: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/debug/deps/libdangsan_baselines-51b7b1ade874a6b0.rlib: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/debug/deps/libdangsan_baselines-51b7b1ade874a6b0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dangnull.rs:
+crates/baselines/src/freesentry.rs:
+crates/baselines/src/locked.rs:
+crates/baselines/src/quarantine.rs:

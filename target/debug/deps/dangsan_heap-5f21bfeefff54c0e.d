@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dangsan_heap-5f21bfeefff54c0e.d: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/debug/deps/libdangsan_heap-5f21bfeefff54c0e.rlib: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/debug/deps/libdangsan_heap-5f21bfeefff54c0e.rmeta: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/size_classes.rs:
+crates/heap/src/span.rs:
+crates/heap/src/thread_cache.rs:

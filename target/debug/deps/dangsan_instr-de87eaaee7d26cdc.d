@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dangsan_instr-de87eaaee7d26cdc.d: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+/root/repo/target/debug/deps/libdangsan_instr-de87eaaee7d26cdc.rlib: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+/root/repo/target/debug/deps/libdangsan_instr-de87eaaee7d26cdc.rmeta: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+crates/instr/src/lib.rs:
+crates/instr/src/analysis.rs:
+crates/instr/src/builder.rs:
+crates/instr/src/instrument.rs:
+crates/instr/src/interp.rs:
+crates/instr/src/ir.rs:
+crates/instr/src/text.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dangsan_shadow-028a18d98bc0b5d0.d: crates/shadow/src/lib.rs
+
+/root/repo/target/debug/deps/libdangsan_shadow-028a18d98bc0b5d0.rlib: crates/shadow/src/lib.rs
+
+/root/repo/target/debug/deps/libdangsan_shadow-028a18d98bc0b5d0.rmeta: crates/shadow/src/lib.rs
+
+crates/shadow/src/lib.rs:

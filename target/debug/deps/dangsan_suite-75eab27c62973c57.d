@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dangsan_suite-75eab27c62973c57.d: src/lib.rs
+
+/root/repo/target/debug/deps/dangsan_suite-75eab27c62973c57: src/lib.rs
+
+src/lib.rs:

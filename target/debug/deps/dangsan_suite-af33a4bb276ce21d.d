@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dangsan_suite-af33a4bb276ce21d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdangsan_suite-af33a4bb276ce21d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdangsan_suite-af33a4bb276ce21d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dangsan_vmem-b6b7ce4e89f61ed7.d: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/debug/deps/libdangsan_vmem-b6b7ce4e89f61ed7.rlib: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/debug/deps/libdangsan_vmem-b6b7ce4e89f61ed7.rmeta: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+crates/vmem/src/lib.rs:
+crates/vmem/src/bump.rs:
+crates/vmem/src/layout.rs:
+crates/vmem/src/rng.rs:
+crates/vmem/src/space.rs:

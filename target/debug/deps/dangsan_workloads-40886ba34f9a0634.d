@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dangsan_workloads-40886ba34f9a0634.d: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libdangsan_workloads-40886ba34f9a0634.rlib: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libdangsan_workloads-40886ba34f9a0634.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cost.rs:
+crates/workloads/src/env.rs:
+crates/workloads/src/exploits.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/server.rs:
+crates/workloads/src/spec.rs:

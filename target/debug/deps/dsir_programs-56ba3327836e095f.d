@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsir_programs-56ba3327836e095f.d: tests/dsir_programs.rs
+
+/root/repo/target/debug/deps/dsir_programs-56ba3327836e095f: tests/dsir_programs.rs
+
+tests/dsir_programs.rs:

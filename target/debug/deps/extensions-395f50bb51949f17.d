@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-395f50bb51949f17.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-395f50bb51949f17: tests/extensions.rs
+
+tests/extensions.rs:

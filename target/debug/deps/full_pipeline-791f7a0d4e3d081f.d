@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-791f7a0d4e3d081f.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-791f7a0d4e3d081f: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limitations-41973351b8decd17.d: tests/limitations.rs
+
+/root/repo/target/debug/deps/limitations-41973351b8decd17: tests/limitations.rs
+
+tests/limitations.rs:

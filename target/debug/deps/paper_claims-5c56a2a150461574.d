@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-5c56a2a150461574.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-5c56a2a150461574: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instrumented_program-db4a38caaf3387fb.d: examples/instrumented_program.rs
+
+/root/repo/target/debug/examples/instrumented_program-db4a38caaf3387fb: examples/instrumented_program.rs
+
+examples/instrumented_program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multithreaded_server-83a3fe9c06d352bf.d: examples/multithreaded_server.rs
+
+/root/repo/target/debug/examples/multithreaded_server-83a3fe9c06d352bf: examples/multithreaded_server.rs
+
+examples/multithreaded_server.rs:

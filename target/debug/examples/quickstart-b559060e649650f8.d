@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b559060e649650f8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b559060e649650f8: examples/quickstart.rs
+
+examples/quickstart.rs:

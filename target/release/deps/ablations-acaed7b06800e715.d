@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-acaed7b06800e715.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-acaed7b06800e715: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-f4446723332ca391.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-f4446723332ca391: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_rates-16de81fb2ba5b3d9.d: crates/bench/src/bin/cache_rates.rs
+
+/root/repo/target/release/deps/cache_rates-16de81fb2ba5b3d9: crates/bench/src/bin/cache_rates.rs
+
+crates/bench/src/bin/cache_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_rates-590f655420e0c1a4.d: crates/bench/src/bin/cache_rates.rs
+
+/root/repo/target/release/deps/cache_rates-590f655420e0c1a4: crates/bench/src/bin/cache_rates.rs
+
+crates/bench/src/bin/cache_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-257d283153eabf55.d: tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-257d283153eabf55: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dangsan-467c2ca4e0a8ce69.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/dangsan-467c2ca4e0a8ce69: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/compress.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/hooked.rs:
+crates/core/src/log.rs:
+crates/core/src/object.rs:
+crates/core/src/pool.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dangsan_baselines-d69daa2da998799b.d: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/release/deps/libdangsan_baselines-d69daa2da998799b.rlib: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/release/deps/libdangsan_baselines-d69daa2da998799b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dangnull.rs:
+crates/baselines/src/freesentry.rs:
+crates/baselines/src/locked.rs:
+crates/baselines/src/quarantine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dangsan_baselines-e51c1085c2a08e23.d: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/release/deps/dangsan_baselines-e51c1085c2a08e23: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dangnull.rs:
+crates/baselines/src/freesentry.rs:
+crates/baselines/src/locked.rs:
+crates/baselines/src/quarantine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dangsan_bench-28c1a56e5346824e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/dangsan_bench-28c1a56e5346824e: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/ir_suite.rs:
+crates/bench/src/report.rs:

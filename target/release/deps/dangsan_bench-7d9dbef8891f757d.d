@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dangsan_bench-7d9dbef8891f757d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdangsan_bench-7d9dbef8891f757d.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdangsan_bench-7d9dbef8891f757d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/ir_suite.rs:
+crates/bench/src/report.rs:

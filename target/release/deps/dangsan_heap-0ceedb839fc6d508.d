@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dangsan_heap-0ceedb839fc6d508.d: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/release/deps/libdangsan_heap-0ceedb839fc6d508.rlib: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/release/deps/libdangsan_heap-0ceedb839fc6d508.rmeta: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/size_classes.rs:
+crates/heap/src/span.rs:
+crates/heap/src/thread_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dangsan_heap-1760e08fac931221.d: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/release/deps/dangsan_heap-1760e08fac931221: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/size_classes.rs:
+crates/heap/src/span.rs:
+crates/heap/src/thread_cache.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dangsan_instr-ce6c6599f2226405.d: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+/root/repo/target/release/deps/libdangsan_instr-ce6c6599f2226405.rlib: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+/root/repo/target/release/deps/libdangsan_instr-ce6c6599f2226405.rmeta: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+crates/instr/src/lib.rs:
+crates/instr/src/analysis.rs:
+crates/instr/src/builder.rs:
+crates/instr/src/instrument.rs:
+crates/instr/src/interp.rs:
+crates/instr/src/ir.rs:
+crates/instr/src/text.rs:

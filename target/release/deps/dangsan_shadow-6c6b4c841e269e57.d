@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dangsan_shadow-6c6b4c841e269e57.d: crates/shadow/src/lib.rs
+
+/root/repo/target/release/deps/libdangsan_shadow-6c6b4c841e269e57.rlib: crates/shadow/src/lib.rs
+
+/root/repo/target/release/deps/libdangsan_shadow-6c6b4c841e269e57.rmeta: crates/shadow/src/lib.rs
+
+crates/shadow/src/lib.rs:

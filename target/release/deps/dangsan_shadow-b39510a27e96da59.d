@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dangsan_shadow-b39510a27e96da59.d: crates/shadow/src/lib.rs
+
+/root/repo/target/release/deps/dangsan_shadow-b39510a27e96da59: crates/shadow/src/lib.rs
+
+crates/shadow/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dangsan_suite-22429a3b624802ce.d: src/lib.rs
+
+/root/repo/target/release/deps/libdangsan_suite-22429a3b624802ce.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdangsan_suite-22429a3b624802ce.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dangsan_suite-f27d72145c1f4ac7.d: src/lib.rs
+
+/root/repo/target/release/deps/dangsan_suite-f27d72145c1f4ac7: src/lib.rs
+
+src/lib.rs:

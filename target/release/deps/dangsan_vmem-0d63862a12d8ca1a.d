@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dangsan_vmem-0d63862a12d8ca1a.d: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/release/deps/libdangsan_vmem-0d63862a12d8ca1a.rlib: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/release/deps/libdangsan_vmem-0d63862a12d8ca1a.rmeta: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+crates/vmem/src/lib.rs:
+crates/vmem/src/bump.rs:
+crates/vmem/src/layout.rs:
+crates/vmem/src/rng.rs:
+crates/vmem/src/space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dangsan_vmem-5b6ee8cacfa05412.d: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/release/deps/dangsan_vmem-5b6ee8cacfa05412: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+crates/vmem/src/lib.rs:
+crates/vmem/src/bump.rs:
+crates/vmem/src/layout.rs:
+crates/vmem/src/rng.rs:
+crates/vmem/src/space.rs:

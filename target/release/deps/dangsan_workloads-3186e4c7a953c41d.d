@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dangsan_workloads-3186e4c7a953c41d.d: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libdangsan_workloads-3186e4c7a953c41d.rlib: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libdangsan_workloads-3186e4c7a953c41d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cost.rs:
+crates/workloads/src/env.rs:
+crates/workloads/src/exploits.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/server.rs:
+crates/workloads/src/spec.rs:

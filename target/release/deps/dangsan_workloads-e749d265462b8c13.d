@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dangsan_workloads-e749d265462b8c13.d: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/dangsan_workloads-e749d265462b8c13: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cost.rs:
+crates/workloads/src/env.rs:
+crates/workloads/src/exploits.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/server.rs:
+crates/workloads/src/spec.rs:

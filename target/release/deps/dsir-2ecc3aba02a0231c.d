@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsir-2ecc3aba02a0231c.d: crates/instr/src/bin/dsir.rs
+
+/root/repo/target/release/deps/dsir-2ecc3aba02a0231c: crates/instr/src/bin/dsir.rs
+
+crates/instr/src/bin/dsir.rs:

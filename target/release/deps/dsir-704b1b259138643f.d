@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsir-704b1b259138643f.d: crates/instr/src/bin/dsir.rs
+
+/root/repo/target/release/deps/dsir-704b1b259138643f: crates/instr/src/bin/dsir.rs
+
+crates/instr/src/bin/dsir.rs:

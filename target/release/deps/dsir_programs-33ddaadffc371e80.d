@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsir_programs-33ddaadffc371e80.d: tests/dsir_programs.rs
+
+/root/repo/target/release/deps/dsir_programs-33ddaadffc371e80: tests/dsir_programs.rs
+
+tests/dsir_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/effectiveness-58274d8154a883da.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/release/deps/effectiveness-58274d8154a883da: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/effectiveness-bc23634640afade4.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/release/deps/effectiveness-bc23634640afade4: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-9b94bfd8601e4bf2.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-9b94bfd8601e4bf2: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-2cac9f34a74c06c6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-2cac9f34a74c06c6: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

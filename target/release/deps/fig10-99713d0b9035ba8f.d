@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-99713d0b9035ba8f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-99713d0b9035ba8f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-04cd73498e9da259.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-04cd73498e9da259: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-0f2325996d6a343e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-0f2325996d6a343e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-689868ad72088a8c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-689868ad72088a8c: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-7fae4dc2fcc05dec.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-7fae4dc2fcc05dec: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-56c3c4b30512d93c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-56c3c4b30512d93c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

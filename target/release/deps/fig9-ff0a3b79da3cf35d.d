@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-ff0a3b79da3cf35d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-ff0a3b79da3cf35d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-72025748fe7bfef8.d: tests/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-72025748fe7bfef8: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-9a436c93e0f0071f.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-9a436c93e0f0071f: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

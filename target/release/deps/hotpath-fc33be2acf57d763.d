@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-fc33be2acf57d763.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-fc33be2acf57d763: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

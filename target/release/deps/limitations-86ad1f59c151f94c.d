@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/limitations-86ad1f59c151f94c.d: tests/limitations.rs
+
+/root/repo/target/release/deps/limitations-86ad1f59c151f94c: tests/limitations.rs
+
+tests/limitations.rs:

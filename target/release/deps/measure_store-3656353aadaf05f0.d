@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/measure_store-3656353aadaf05f0.d: crates/bench/src/bin/measure_store.rs
+
+/root/repo/target/release/deps/measure_store-3656353aadaf05f0: crates/bench/src/bin/measure_store.rs
+
+crates/bench/src/bin/measure_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/measure_store-a00306a39ce4e5c4.d: crates/bench/src/bin/measure_store.rs
+
+/root/repo/target/release/deps/measure_store-a00306a39ce4e5c4: crates/bench/src/bin/measure_store.rs
+
+crates/bench/src/bin/measure_store.rs:

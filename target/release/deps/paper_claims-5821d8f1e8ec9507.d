@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-5821d8f1e8ec9507.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-5821d8f1e8ec9507: tests/paper_claims.rs
+
+tests/paper_claims.rs:

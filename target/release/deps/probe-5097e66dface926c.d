@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-5097e66dface926c.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-5097e66dface926c: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-b5dbdc2e03e82f27.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-b5dbdc2e03e82f27: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

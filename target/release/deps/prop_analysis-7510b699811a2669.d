@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_analysis-7510b699811a2669.d: crates/instr/tests/prop_analysis.rs
+
+/root/repo/target/release/deps/prop_analysis-7510b699811a2669: crates/instr/tests/prop_analysis.rs
+
+crates/instr/tests/prop_analysis.rs:

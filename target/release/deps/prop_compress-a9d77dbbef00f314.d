@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_compress-a9d77dbbef00f314.d: crates/core/tests/prop_compress.rs
+
+/root/repo/target/release/deps/prop_compress-a9d77dbbef00f314: crates/core/tests/prop_compress.rs
+
+crates/core/tests/prop_compress.rs:

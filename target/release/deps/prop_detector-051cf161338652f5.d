@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_detector-051cf161338652f5.d: crates/core/tests/prop_detector.rs
+
+/root/repo/target/release/deps/prop_detector-051cf161338652f5: crates/core/tests/prop_detector.rs
+
+crates/core/tests/prop_detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_equivalence-84a4495064951e02.d: crates/instr/tests/prop_equivalence.rs
+
+/root/repo/target/release/deps/prop_equivalence-84a4495064951e02: crates/instr/tests/prop_equivalence.rs
+
+crates/instr/tests/prop_equivalence.rs:

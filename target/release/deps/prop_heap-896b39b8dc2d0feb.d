@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_heap-896b39b8dc2d0feb.d: crates/heap/tests/prop_heap.rs
+
+/root/repo/target/release/deps/prop_heap-896b39b8dc2d0feb: crates/heap/tests/prop_heap.rs
+
+crates/heap/tests/prop_heap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_shadow-3dc9cd3059a9aaca.d: crates/shadow/tests/prop_shadow.rs
+
+/root/repo/target/release/deps/prop_shadow-3dc9cd3059a9aaca: crates/shadow/tests/prop_shadow.rs
+
+crates/shadow/tests/prop_shadow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_space-815ee74ed46573ba.d: crates/vmem/tests/prop_space.rs
+
+/root/repo/target/release/deps/prop_space-815ee74ed46573ba: crates/vmem/tests/prop_space.rs
+
+crates/vmem/tests/prop_space.rs:

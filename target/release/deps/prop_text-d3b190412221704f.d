@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_text-d3b190412221704f.d: crates/instr/tests/prop_text.rs
+
+/root/repo/target/release/deps/prop_text-d3b190412221704f: crates/instr/tests/prop_text.rs
+
+crates/instr/tests/prop_text.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-556b65543283863f.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-556b65543283863f: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

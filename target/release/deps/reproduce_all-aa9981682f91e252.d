@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-aa9981682f91e252.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-aa9981682f91e252: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/servers-0e7cf6ead4052920.d: crates/bench/src/bin/servers.rs
+
+/root/repo/target/release/deps/servers-0e7cf6ead4052920: crates/bench/src/bin/servers.rs
+
+crates/bench/src/bin/servers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/servers-be5732c7d4241ce9.d: crates/bench/src/bin/servers.rs
+
+/root/repo/target/release/deps/servers-be5732c7d4241ce9: crates/bench/src/bin/servers.rs
+
+crates/bench/src/bin/servers.rs:

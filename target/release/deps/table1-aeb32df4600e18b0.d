@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-aeb32df4600e18b0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-aeb32df4600e18b0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e3aaa562ea6488cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e3aaa562ea6488cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flush_repro-f932fbf6783e0488.d: examples/flush_repro.rs
+
+/root/repo/target/release/examples/flush_repro-f932fbf6783e0488: examples/flush_repro.rs
+
+examples/flush_repro.rs:

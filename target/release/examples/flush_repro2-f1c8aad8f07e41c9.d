@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flush_repro2-f1c8aad8f07e41c9.d: examples/flush_repro2.rs
+
+/root/repo/target/release/examples/flush_repro2-f1c8aad8f07e41c9: examples/flush_repro2.rs
+
+examples/flush_repro2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/instrumented_program-d4d45fcaf9cfe2ed.d: examples/instrumented_program.rs
+
+/root/repo/target/release/examples/instrumented_program-d4d45fcaf9cfe2ed: examples/instrumented_program.rs
+
+examples/instrumented_program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multithreaded_server-8cac6e41b4a92171.d: examples/multithreaded_server.rs
+
+/root/repo/target/release/examples/multithreaded_server-8cac6e41b4a92171: examples/multithreaded_server.rs
+
+examples/multithreaded_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-abe7f5edf8e9a227.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-abe7f5edf8e9a227: examples/quickstart.rs
+
+examples/quickstart.rs:

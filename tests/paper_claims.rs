@@ -87,7 +87,10 @@ fn locked_variant_is_behaviourally_identical() {
         let hh = local_env(DetectorKind::DangSanLocked(Config::default()));
         run_spec(p, scale, 0, &hh, 5)
     };
-    assert_eq!(free.stats, locked.stats);
+    // Cache hit/miss splits depend on metadata addresses, which differ
+    // between the two detector instances; only behavioural counters must
+    // match.
+    assert_eq!(free.stats.behavioural(), locked.stats.behavioural());
 }
 
 /// §8.4: duplicates would blow up the logs without lookback+hash — the
