@@ -27,17 +27,27 @@ struct Measurement {
     ops: u64,
 }
 
-/// Runs `bench` a few times and keeps the best throughput (the standard
-/// noise-robust estimator; both cache configurations use the same one).
-fn best_of(reps: u32, mut bench: impl FnMut() -> Measurement) -> Measurement {
-    let mut best = bench();
+/// Runs the off/on pair `reps` times, *interleaved*, and keeps each
+/// side's best throughput (the standard noise-robust estimator).
+///
+/// Interleaving matters as much as best-of: running every off rep and
+/// then every on rep puts the second side on a systematically different
+/// machine whenever load or thermals drift over the run, which showed up
+/// as a persistent phantom few-percent regression on benches whose two
+/// configurations execute nearly identical code.
+fn best_pair(reps: u32, mut bench: impl FnMut(bool) -> Measurement) -> (Measurement, Measurement) {
+    let (mut off, mut on) = (bench(false), bench(true));
     for _ in 1..reps {
-        let m = bench();
-        if m.ops_per_sec > best.ops_per_sec {
-            best = m;
+        let m = bench(false);
+        if m.ops_per_sec > off.ops_per_sec {
+            off = m;
+        }
+        let m = bench(true);
+        if m.ops_per_sec > on.ops_per_sec {
+            on = m;
         }
     }
-    best
+    (off, on)
 }
 
 /// A fresh detector environment with the hot-path caches on or off.
@@ -49,6 +59,24 @@ fn env(caches: bool) -> (Arc<AddressSpace>, Arc<Heap>, Arc<DangSan>) {
         Config::default().with_hot_path_caches(caches),
     );
     mem.set_tlb_enabled(caches);
+    (mem, heap, det)
+}
+
+/// A fresh environment for the free-heavy benchmarks: `opt` toggles the
+/// whole of this repo's free-path work — the per-thread caches (whose
+/// per-object epochs make them free-proof) *and* the page-batched
+/// invalidation walk — so off/on is the before/after of the optimised
+/// free path, not of the caches alone.
+fn free_env(opt: bool) -> (Arc<AddressSpace>, Arc<Heap>, Arc<DangSan>) {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(
+        Arc::clone(&mem),
+        Config::default()
+            .with_hot_path_caches(opt)
+            .with_page_batched_free(opt),
+    );
+    mem.set_tlb_enabled(opt);
     (mem, heap, det)
 }
 
@@ -161,6 +189,120 @@ fn bench_invalidate(rounds: u64, caches: bool) -> Measurement {
     }
 }
 
+/// `free_many_ptrs`: one object, many pointers — the invalidation walk at
+/// its widest. 1024 distinct locations span two vmem pages, so the
+/// page-batched walk pays two translations where the legacy path paid
+/// 1024. Ops are counted in pointers invalidated.
+fn bench_free_many_ptrs(rounds: u64, opt: bool) -> Measurement {
+    const LOCS: u64 = 1024;
+    let (mem, heap, det) = free_env(opt);
+    let holder = heap.malloc(LOCS * 8).expect("holder");
+    det.on_alloc(&holder);
+    let start = Instant::now();
+    let mut invalidated = 0u64;
+    for _ in 0..rounds {
+        let obj = heap.malloc(256).expect("obj");
+        det.on_alloc(&obj);
+        for s in 0..LOCS {
+            let loc = holder.base + s * 8;
+            let val = obj.base + (s % 16) * 8;
+            mem.write_word(loc, val).expect("store");
+            det.register_ptr(loc, val);
+        }
+        let r = det.on_free(obj.base);
+        invalidated += r.invalidated;
+        heap.free(obj.base).expect("free");
+    }
+    let t = start.elapsed().as_secs_f64();
+    assert_eq!(invalidated, rounds * LOCS, "invalidation must be complete");
+    Measurement {
+        ops_per_sec: invalidated as f64 / t,
+        ops: invalidated,
+    }
+}
+
+/// `free_many_objs`: many objects, one pointer each — the per-free fixed
+/// overhead (epoch retire, scratch round-trip, shadow clear, pool
+/// recycling) with almost no walk to amortise it. Ops are frees.
+fn bench_free_many_objs(rounds: u64, opt: bool) -> Measurement {
+    const OBJS: u64 = 8;
+    let (mem, heap, det) = free_env(opt);
+    let holder = heap.malloc(OBJS * 8).expect("holder");
+    det.on_alloc(&holder);
+    let mut live = Vec::with_capacity(OBJS as usize);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for o in 0..OBJS {
+            let obj = heap.malloc(64).expect("obj");
+            det.on_alloc(&obj);
+            let loc = holder.base + o * 8;
+            mem.write_word(loc, obj.base).expect("store");
+            det.register_ptr(loc, obj.base);
+            live.push(obj.base);
+        }
+        for base in live.drain(..) {
+            det.on_free(base);
+            heap.free(base).expect("free");
+        }
+    }
+    let t = start.elapsed().as_secs_f64();
+    Measurement {
+        ops_per_sec: (rounds * OBJS) as f64 / t,
+        ops: rounds * OBJS,
+    }
+}
+
+/// `free_while_reg`: frees racing a registering thread — the scenario the
+/// per-object epochs exist for. A background thread keeps storing
+/// pointers to its own long-lived object while the timed thread churns
+/// malloc/register/free; under the old detector-global stamp every free
+/// flushed the registrar's caches, so the two workloads serialised on
+/// cache refills. Ops are the timed thread's frees.
+fn bench_free_while_registering(rounds: u64, opt: bool) -> Measurement {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (mem, heap, det) = free_env(opt);
+    let reg_obj = heap.malloc(256).expect("reg_obj");
+    det.on_alloc(&reg_obj);
+    let reg_slots = heap.malloc(64 * 8).expect("reg_slots");
+    det.on_alloc(&reg_slots);
+    let holder = heap.malloc(8).expect("holder");
+    det.on_alloc(&holder);
+    let stop = Arc::new(AtomicBool::new(false));
+    let registrar = {
+        let (mem, det, stop) = (Arc::clone(&mem), Arc::clone(&det), Arc::clone(&stop));
+        let (slots, target) = (reg_slots.base, reg_obj.base);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let loc = slots + (i % 64) * 8;
+                let val = target + (i % 32) * 8;
+                mem.write_word(loc, val).expect("store");
+                det.register_ptr(loc, val);
+                i += 1;
+            }
+        })
+    };
+    let start = Instant::now();
+    let mut invalidated = 0u64;
+    for _ in 0..rounds {
+        let obj = heap.malloc(96).expect("obj");
+        det.on_alloc(&obj);
+        mem.write_word(holder.base, obj.base).expect("store");
+        det.register_ptr(holder.base, obj.base);
+        let r = det.on_free(obj.base);
+        invalidated += r.invalidated;
+        heap.free(obj.base).expect("free");
+    }
+    let t = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    registrar.join().expect("registrar");
+    assert_eq!(invalidated, rounds, "each round's pointer is invalidated");
+    Measurement {
+        ops_per_sec: rounds as f64 / t,
+        ops: rounds,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -172,11 +314,14 @@ fn main() {
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
 
     let (reps, scale) = if quick { (3, 1u64) } else { (7, 8u64) };
-    let benches: [(&str, fn(u64, bool) -> Measurement, u64); 4] = [
+    let benches: [(&str, fn(u64, bool) -> Measurement, u64); 7] = [
         ("registerptr", bench_registerptr, 400_000 * scale),
         ("ptr2obj", bench_ptr2obj, 800_000 * scale),
         ("malloc_free", bench_malloc_free, 20_000 * scale),
         ("invalidate", bench_invalidate, 4_000 * scale),
+        ("free_many_ptrs", bench_free_many_ptrs, 200 * scale),
+        ("free_many_objs", bench_free_many_objs, 2_000 * scale),
+        ("free_while_reg", bench_free_while_registering, 5_000 * scale),
     ];
 
     let mut doc = Json::obj();
@@ -185,15 +330,14 @@ fn main() {
     let mut section = Json::obj();
     eprintln!("[hotpath] {} mode, {reps} reps/bench", if quick { "quick" } else { "full" });
     println!(
-        "{:<12} {:>16} {:>16} {:>8}",
+        "{:<15} {:>16} {:>16} {:>8}",
         "bench", "off (ops/s)", "on (ops/s)", "speedup"
     );
     for (name, f, iters) in benches {
-        let off = best_of(reps, || f(iters, false));
-        let on = best_of(reps, || f(iters, true));
+        let (off, on) = best_pair(reps, |caches| f(iters, caches));
         let speedup = on.ops_per_sec / off.ops_per_sec;
         println!(
-            "{name:<12} {:>16.0} {:>16.0} {speedup:>7.2}x",
+            "{name:<15} {:>16.0} {:>16.0} {speedup:>7.2}x",
             off.ops_per_sec, on.ops_per_sec
         );
         let mut b = Json::obj();

@@ -676,8 +676,18 @@ pub fn cache_rates() -> String {
         "log-cache hit",
         "#ptrs",
     ]);
+    let mut free_table = Table::new(&[
+        "benchmark",
+        "frees",
+        "locs/free",
+        "pages/free",
+        "dup locs",
+        "walk hist (0/≤8/≤64/≤512/>512)",
+    ]);
     let mut tot = [0u64; 6];
     let mut ptrs = 0u64;
+    let mut ftot = [0u64; 4];
+    let mut htot = [0u64; 5];
     for p in SPEC {
         let pscale = scale.min((p.ptrs / 500_000).max(1));
         let (_, s, _, _) = spec_seconds(DetectorKind::DangSan(Config::default()), p, pscale, 0, 23);
@@ -699,6 +709,25 @@ pub fn cache_rates() -> String {
             rate(s.log_cache_hits, s.log_cache_misses),
             human(s.ptrs_registered),
         ]);
+        for (acc, v) in ftot.iter_mut().zip([
+            s.objects_freed,
+            s.free_locs_walked,
+            s.free_pages_touched,
+            s.free_dup_locs,
+        ]) {
+            *acc += v;
+        }
+        for (acc, v) in htot.iter_mut().zip(s.free_locs_hist) {
+            *acc += v;
+        }
+        free_table.row(free_shape_row(
+            p.name,
+            s.objects_freed,
+            s.free_locs_walked,
+            s.free_pages_touched,
+            s.free_dup_locs,
+            s.free_locs_hist,
+        ));
     }
     table.row(vec![
         "total".into(),
@@ -707,13 +736,64 @@ pub fn cache_rates() -> String {
         rate(tot[4], tot[5]),
         human(ptrs),
     ]);
+    free_table.row(free_shape_row(
+        "total", ftot[0], ftot[1], ftot[2], ftot[3], htot,
+    ));
     out.push_str(&table.render());
     out.push_str(
         "\nA miss on any layer is benign: the access falls back to the full\n\
-         walk (page tree / metapagetable / log list). Invalidation is by\n\
-         stamp: unmap, metadata clear, and free each publish a fresh\n\
-         never-reused stamp, so no hit can survive them (see DESIGN.md,\n\
-         \"Hot path anatomy\").\n",
+         walk (page tree / metapagetable / log list). Invalidation is\n\
+         per-object: every free retires the object's epoch, so only slots\n\
+         naming that object stop hitting (see DESIGN.md, \"Hot path\n\
+         anatomy\").\n",
+    );
+    out.push_str("\n== Free-path shape == (what each on_free walked)\n\n");
+    out.push_str(&free_table.render());
+    out.push_str(
+        "\nlocs/free counts every logged location examined (before dedup);\n\
+         pages/free counts page translations the batched walk paid; dup\n\
+         locs is the share of drained locations dropped by the sort+dedup\n\
+         pass; the histogram buckets frees by walk width (see DESIGN.md,\n\
+         \"Free path anatomy\").\n",
     );
     out
+}
+
+/// Formats one row of the free-shape table from a snapshot's free-path
+/// counters.
+fn free_shape_row(
+    name: &str,
+    frees: u64,
+    locs: u64,
+    pages: u64,
+    dups: u64,
+    hist: [u64; 5],
+) -> Vec<String> {
+    let per = |v: u64| -> String {
+        if frees == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}", v as f64 / frees as f64)
+        }
+    };
+    let dup_pct = if locs == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", 100.0 * dups as f64 / locs as f64)
+    };
+    vec![
+        name.to_string(),
+        human(frees),
+        per(locs),
+        per(pages),
+        dup_pct,
+        format!(
+            "{}/{}/{}/{}/{}",
+            human(hist[0]),
+            human(hist[1]),
+            human(hist[2]),
+            human(hist[3]),
+            human(hist[4])
+        ),
+    ]
 }

@@ -35,6 +35,12 @@ pub struct Config {
     /// back into the three full tree walks — the before/after baseline for
     /// the hot-path micro-benchmarks. Behaviour is identical either way.
     pub hot_path_caches: bool,
+    /// Resolve the free-time invalidation walk one vmem *page* at a time
+    /// (drain → dedup → sort → one translation per page) instead of one
+    /// translation per location. Both settings drain and dedup the same
+    /// location set, so reports and counters are identical; the knob
+    /// isolates the translation batching for the ablation benchmarks.
+    pub page_batched_free: bool,
 }
 
 impl Default for Config {
@@ -47,6 +53,7 @@ impl Default for Config {
             hash_initial: 64,
             hook_memcpy: false,
             hot_path_caches: true,
+            page_batched_free: true,
         }
     }
 }
@@ -84,6 +91,12 @@ impl Config {
     /// Returns a copy with the hot-path caches toggled.
     pub fn with_hot_path_caches(mut self, on: bool) -> Self {
         self.hot_path_caches = on;
+        self
+    }
+
+    /// Returns a copy with free-time page batching toggled.
+    pub fn with_page_batched_free(mut self, on: bool) -> Self {
+        self.page_batched_free = on;
         self
     }
 }

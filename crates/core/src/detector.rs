@@ -7,13 +7,15 @@ use std::sync::Arc;
 
 use dangsan_heap::Allocation;
 use dangsan_shadow::MetaPageTable;
-use dangsan_vmem::{Addr, AddressSpace, CasOutcome, FaultKind, HEAP_BASE, HEAP_SIZE, INVALID_BIT};
+use dangsan_vmem::{
+    Addr, AddressSpace, CasOutcome, FaultKind, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE,
+};
 
 use crate::api::{Detector, InvalidationReport};
 use crate::config::Config;
 use crate::log::ThreadLog;
-use crate::object::ObjectMeta;
-use crate::pool::Pool;
+use crate::object::{fresh_epoch, ObjectMeta};
+use crate::pool::{Pool, ScratchPool};
 use crate::stats::{Hot, Stats, StatsSnapshot};
 
 /// Returns this thread's stable small integer id.
@@ -31,39 +33,75 @@ pub fn current_thread_id() -> u64 {
 /// Entries in the per-thread last-object → log cache (power of two).
 ///
 /// Programs store runs of pointers into the same few objects (the paper's
-/// locality argument for the lookback window), so even a tiny cache
-/// removes most log-list walks.
-const LOG_CACHE_SLOTS: usize = 4;
+/// locality argument for the lookback window), so even a small cache
+/// removes most log-list walks. Slots are indexed by the *pointer value*
+/// being stored (bits above the typical object alignment), so a hit
+/// resolves value → log directly and the shadow lookup is skipped
+/// altogether; 16 slots tolerate a handful of hot objects plus values
+/// spanning a few 64-byte lines within each.
+const LOG_CACHE_SLOTS: usize = 16;
 
-/// One cached (object metadata value → this thread's log) association.
+/// One cached (pointer value → this thread's log) association.
 ///
-/// Validity is a single stamp compare: stamps come from a global
-/// never-reused counter, and a detector takes a fresh stamp on every
-/// `on_free` *before* it recycles any log, so a slot whose stamp equals
-/// the detector's *current* stamp was filled by this very detector with no
-/// free since — the cached log is still linked into this object's list and
-/// still tagged with this thread's id.
+/// A hit must establish that the stored value points into the same object
+/// lifetime that filled the slot, *without* consulting the metapagetable —
+/// skipping that lookup is the point of the cache. Validation is
+/// three-staged, and the order is load-bearing:
+///
+/// 1. `det_id == self.id` proves the record belongs to the calling
+///    detector's live, type-stable pool — only then may `meta_val` be
+///    dereferenced (a slot left by a since-dropped detector would point
+///    into freed memory).
+/// 2. `meta.in_range(value)` checks the value against the record's
+///    *current* range: the interior-pointer map invariant (§4.4) says a
+///    value inside a live object's range resolves to that object.
+/// 3. The epoch compare (see [`ObjectMeta::epoch`]) proves the record is
+///    still in the lifetime that filled the slot: the range just checked
+///    belongs to the same object, the cached log is still linked into its
+///    list and still tagged with this thread's id.
+///
+/// Epochs are globally never reused and retired at both ends of a
+/// lifetime, so freeing any *other* object costs this slot nothing; the
+/// detector-global flush-on-free this replaces was the main regression in
+/// the free-heavy benchmarks. The residual race — a free on another
+/// thread between the epoch load and the append — is the same benign one
+/// the uncached walk already has: logs are pool-owned type-stable memory,
+/// and the value check at free time discards any entry that landed in a
+/// recycled log.
 #[derive(Clone, Copy)]
 struct LogCacheSlot {
-    /// The filling detector's `cache_stamp` at fill time; 0 never issued.
-    stamp: u64,
+    /// The filling detector's never-reused id; 0 never issued.
+    det_id: u64,
     /// The object's packed metadata value (`ObjectMeta::as_meta_value`).
     meta_val: u64,
+    /// The record's epoch at fill time; 0 is never issued.
+    epoch: u64,
     /// The calling thread's log for that object.
     log: *const ThreadLog,
 }
 
 impl LogCacheSlot {
     const EMPTY: LogCacheSlot = LogCacheSlot {
-        stamp: 0,
+        det_id: 0,
         meta_val: 0,
+        epoch: 0,
         log: ptr::null(),
     };
 }
 
-thread_local! {
-    static LOG_CACHE: [Cell<LogCacheSlot>; LOG_CACHE_SLOTS] =
-        const { [const { Cell::new(LogCacheSlot::EMPTY) }; LOG_CACHE_SLOTS] };
+/// The detector's per-thread caches, bundled into one thread-local so the
+/// registration fast path pays a single TLS round trip for both (plus one
+/// each for the shadow cache and the stats slab — TLS accesses are the
+/// dominant fixed cost of the cached path, so they are rationed).
+struct DetCaches {
+    /// Last-object → log slots (see [`LogCacheSlot`]).
+    log: [Cell<LogCacheSlot>; LOG_CACHE_SLOTS],
+    /// Memoized hash-tier registrations (see [`RegCacheSlot`]).
+    reg: [Cell<RegCacheSlot>; REG_CACHE_SLOTS],
+    /// Whether any memo slot was ever filled on this thread. Workloads
+    /// that never drive a log into its hash tier skip the memo probe on
+    /// this one test instead of a five-field compare per store.
+    reg_used: Cell<bool>,
 }
 
 /// Entries in the per-thread registration memo (power of two).
@@ -78,10 +116,22 @@ thread_local! {
 const REG_CACHE_SLOTS: usize = 256;
 
 /// One memoized (location, value) registration known to be a duplicate.
+///
+/// Validation is two-staged, and the order is load-bearing: the
+/// `det_id` compare must pass *before* `meta_val` is dereferenced — a
+/// matching id proves the record belongs to the calling detector's live,
+/// type-stable pool, whereas a slot left by a since-dropped detector
+/// would point into freed memory. Only then is the record's current
+/// epoch compared against the captured one, proving the memoized hash
+/// membership is from the object's current lifetime.
 #[derive(Clone, Copy)]
 struct RegCacheSlot {
-    /// The filling detector's `cache_stamp` at fill time; 0 never issued.
-    stamp: u64,
+    /// The filling detector's never-reused id; 0 never issued.
+    det_id: u64,
+    /// The target object's packed metadata value at fill time.
+    meta_val: u64,
+    /// The record's epoch at fill time.
+    epoch: u64,
     /// The stored-to location.
     loc: u64,
     /// The pointer value stored there.
@@ -90,24 +140,31 @@ struct RegCacheSlot {
 
 impl RegCacheSlot {
     const EMPTY: RegCacheSlot = RegCacheSlot {
-        stamp: 0,
+        det_id: 0,
+        meta_val: 0,
+        epoch: 0,
         loc: 0,
         value: 0,
     };
 }
 
 thread_local! {
-    static REG_CACHE: [Cell<RegCacheSlot>; REG_CACHE_SLOTS] =
-        const { [const { Cell::new(RegCacheSlot::EMPTY) }; REG_CACHE_SLOTS] };
+    static DET_CACHES: DetCaches = const {
+        DetCaches {
+            log: [const { Cell::new(LogCacheSlot::EMPTY) }; LOG_CACHE_SLOTS],
+            reg: [const { Cell::new(RegCacheSlot::EMPTY) }; REG_CACHE_SLOTS],
+            reg_used: Cell::new(false),
+        }
+    };
 }
 
-/// Stamps are handed out once and never reused (across all detectors), so
-/// a stale thread-local entry — from a dropped detector, another detector,
-/// or this detector before a free — can never match.
-static NEXT_DETECTOR_STAMP: AtomicU64 = AtomicU64::new(1);
+/// Detector ids are handed out once and never reused, so a stale
+/// registration-memo slot from a dropped detector can never pass the
+/// `det_id` guard of a live one.
+static NEXT_DETECTOR_ID: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_detector_stamp() -> u64 {
-    NEXT_DETECTOR_STAMP.fetch_add(1, Ordering::Relaxed)
+fn fresh_detector_id() -> u64 {
+    NEXT_DETECTOR_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The DangSan use-after-free detector (the paper's contribution).
@@ -147,11 +204,14 @@ pub struct DangSan {
     log_pool: Pool<ThreadLog>,
     /// Host bytes of indirect blocks and hash tables.
     extra_bytes: AtomicU64,
-    /// This detector's current cache validity stamp (see [`LogCacheSlot`]
-    /// and [`RegCacheSlot`]): globally unique, replaced by `on_free`
-    /// before any log is recycled, flushing every thread's cached
-    /// (object → log) associations and memoized registrations at once.
-    cache_stamp: AtomicU64,
+    /// Pooled scratch buffers for the free path's batched walk.
+    scratch: ScratchPool,
+    /// This detector's never-reused id, burned into registration-memo
+    /// slots so a slot is only ever interpreted against the pool that
+    /// filled it (see [`RegCacheSlot`]). Cache *validity* is per object
+    /// lifetime via [`ObjectMeta::epoch`]; nothing detector-global is
+    /// touched on free.
+    id: u64,
 }
 
 impl DangSan {
@@ -167,7 +227,8 @@ impl DangSan {
             meta_pool: Pool::new(),
             log_pool: Pool::new(),
             extra_bytes: AtomicU64::new(0),
-            cache_stamp: AtomicU64::new(fresh_detector_stamp()),
+            scratch: ScratchPool::new(),
+            id: fresh_detector_id(),
         })
     }
 
@@ -192,6 +253,20 @@ impl DangSan {
         // SAFETY: metapagetable values are written exclusively by
         // `on_alloc` from `as_meta_value` on records owned by `meta_pool`,
         // which lives as long as `self`.
+        Some(unsafe { ObjectMeta::from_meta_value(meta_val) })
+    }
+
+    /// [`Self::ptr2obj`] for one-shot resolutions (a free, a realloc):
+    /// skips the per-thread shadow cache, whose probe-and-fill can only
+    /// cost here — the entry is touched once and caching it may evict a
+    /// slot a store loop is using.
+    #[inline]
+    fn ptr2obj_cold(&self, value: u64) -> Option<&ObjectMeta> {
+        if !(HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&value) {
+            return None;
+        }
+        let meta_val = self.map.lookup_cold(value)?;
+        // SAFETY: as in `ptr2obj`.
         Some(unsafe { ObjectMeta::from_meta_value(meta_val) })
     }
 
@@ -242,83 +317,104 @@ impl DangSan {
         }
     }
 
-    /// [`Self::find_or_create_log`] behind the per-thread last-object
-    /// cache: repeated stores of pointers into the same object skip the
-    /// list walk entirely.
-    ///
-    /// A stamp match proves no `on_free` ran since the entry was filled,
-    /// so the cached log is still linked into this object's list and still
-    /// tagged with this thread's id. The residual race — a free on another
-    /// thread between the stamp load and the append — is the same benign
-    /// one the uncached walk already has: logs are pool-owned type-stable
-    /// memory, and the value check at free time discards any entry that
-    /// landed in a recycled log.
-    ///
-    /// `stamp` is the caller's already-loaded `cache_stamp` (acquire).
-    #[inline]
-    fn find_log_cached(&self, meta: &ObjectMeta, stamp: u64) -> &ThreadLog {
-        let meta_val = meta.as_meta_value();
-        // Meta records come from a pool of boxed, well-aligned structs;
-        // the low bits are constant, so index by the next few.
-        let idx = ((meta_val >> 6) as usize) & (LOG_CACHE_SLOTS - 1);
-        LOG_CACHE.with(|cache| {
-            let slot = cache[idx].get();
-            if slot.stamp == stamp && slot.meta_val == meta_val {
-                self.stats.bump_hot(Hot::LogCacheHits);
-                // SAFETY: stamp match (this detector, no free since fill);
-                // see the method comment.
-                return unsafe { &*slot.log };
-            }
-            self.stats.bump_hot(Hot::LogCacheMisses);
-            let log = self.find_or_create_log(meta);
-            cache[idx].set(LogCacheSlot {
-                stamp,
-                meta_val,
-                log: log as *const ThreadLog,
-            });
-            log
-        })
-    }
-
     /// The fully cached `register_ptr` path.
     ///
     /// Consults the per-thread registration memo first: a hit means this
     /// thread already pushed the identical (location, value) pair into the
-    /// hash tier of its log for the target object, and the stamp match
-    /// proves no free ran since. The uncached walk would then resolve the
-    /// same object (its shadow slots are untouched between frees), find
-    /// the same log, and take the hash tier's duplicate exit — so the walk
-    /// is skipped and only its counter effects are applied. Everything
-    /// observable (log contents, invalidation behaviour, Table 1 counters)
-    /// is identical to [`Self::find_or_create_log`] + append.
+    /// hash tier of its log for the target object, and the epoch match
+    /// proves that object is still in the lifetime that filled the slot —
+    /// its shadow slots still resolve to it, its logs are still attached,
+    /// and hash membership only grows within a lifetime. The uncached walk
+    /// would therefore take the hash tier's duplicate exit, so the walk is
+    /// skipped and only its counter effects are applied.
+    ///
+    /// On a memo miss, the last-object cache replaces the log-list walk.
+    /// An epoch match proves the slot was filled for `meta`'s *current*
+    /// lifetime (epochs are globally never reused, and every lifetime of
+    /// every record gets its own), which implies the fill was made through
+    /// this very detector — `meta` is owned by `self.meta_pool` — and that
+    /// no `on_free` of this object ran since: the cached log is still
+    /// linked into the object's list and still tagged with this thread's
+    /// id. The residual race — a free on another thread between the epoch
+    /// load and the append — is the same benign one the uncached walk
+    /// already has: logs are pool-owned type-stable memory, and the value
+    /// check at free time discards any entry that landed in a recycled
+    /// log.
+    ///
+    /// Everything observable (log contents, invalidation behaviour,
+    /// Table 1 counters) is identical to the uncached
+    /// [`Self::find_or_create_log`] + append.
     fn register_ptr_cached(&self, loc: Addr, value: u64) {
-        let stamp = self.cache_stamp.load(Ordering::Acquire);
-        let idx = ((loc >> 3) as usize) & (REG_CACHE_SLOTS - 1);
-        let memo_hit = REG_CACHE.with(|cache| {
-            let slot = cache[idx].get();
-            slot.stamp == stamp && slot.loc == loc && slot.value == value
-        });
-        if memo_hit {
-            // Counter effects of the skipped walk: one registration, one
-            // hash-tier duplicate, plus the cache-effectiveness diagnostic.
-            self.stats
-                .bump_hot3(Hot::PtrsRegistered, Hot::DupPtrs, Hot::LogCacheHits);
-            return;
-        }
-        let Some(meta) = self.ptr2obj(value) else {
-            return;
-        };
-        self.stats.bump_hot(Hot::PtrsRegistered);
-        let log = self.find_log_cached(meta, stamp);
-        log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
-        if log.hash_active() {
-            // `loc` is now a member of the log's hash set, and members are
-            // never removed while the object lives: memoize the pair so
-            // identical re-registrations skip the walk until the next free.
-            REG_CACHE.with(|cache| {
-                cache[idx].set(RegCacheSlot { stamp, loc, value });
-            });
-        }
+        DET_CACHES.with(|caches| {
+            if caches.reg_used.get() {
+                let slot = caches.reg[((loc >> 3) as usize) & (REG_CACHE_SLOTS - 1)].get();
+                let memo_hit = slot.det_id == self.id && slot.loc == loc && slot.value == value && {
+                    // SAFETY: the det_id compare just passed, so `meta_val`
+                    // names a record in this detector's live, type-stable
+                    // pool (see [`RegCacheSlot`] — the order matters).
+                    let meta = unsafe { ObjectMeta::from_meta_value(slot.meta_val) };
+                    meta.epoch.load(Ordering::Acquire) == slot.epoch
+                };
+                if memo_hit {
+                    // Counter effects of the skipped walk: one registration,
+                    // one hash-tier duplicate, plus the cache diagnostic.
+                    self.stats
+                        .bump_hot3(Hot::PtrsRegistered, Hot::DupPtrs, Hot::LogCacheHits);
+                    return;
+                }
+            }
+            // Values pointing into the same 64-byte line of the same
+            // object share a slot; see [`LogCacheSlot`] for why the hit
+            // test below needs no metapagetable lookup.
+            let lidx = ((value >> 6) as usize) & (LOG_CACHE_SLOTS - 1);
+            let lslot = caches.log[lidx].get();
+            let (log, meta_val, epoch) = if lslot.det_id == self.id && {
+                // SAFETY: the det_id compare just passed, so `meta_val`
+                // names a record in this detector's live, type-stable
+                // pool (see [`LogCacheSlot`] — the order matters).
+                let meta = unsafe { ObjectMeta::from_meta_value(lslot.meta_val) };
+                meta.in_range(value) && meta.epoch.load(Ordering::Acquire) == lslot.epoch
+            } {
+                self.stats.bump_hot2(Hot::PtrsRegistered, Hot::LogCacheHits);
+                // SAFETY: the validated slot holds this detector's
+                // pool-owned log; see [`LogCacheSlot`].
+                (unsafe { &*lslot.log }, lslot.meta_val, lslot.epoch)
+            } else {
+                let Some(meta) = self.ptr2obj(value) else {
+                    return;
+                };
+                // Load the epoch before touching the log: if a free runs
+                // concurrently, every slot filled below captures an
+                // already retired epoch and can never validate —
+                // conservative, never unsafe.
+                let epoch = meta.epoch.load(Ordering::Acquire);
+                let meta_val = meta.as_meta_value();
+                self.stats.bump_hot2(Hot::PtrsRegistered, Hot::LogCacheMisses);
+                let log = self.find_or_create_log(meta);
+                caches.log[lidx].set(LogCacheSlot {
+                    det_id: self.id,
+                    meta_val,
+                    epoch,
+                    log: log as *const ThreadLog,
+                });
+                (log as &ThreadLog, meta_val, epoch)
+            };
+            log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
+            if log.hash_active() {
+                // `loc` is now a member of the log's hash set, and members
+                // are never removed while the object lives: memoize the
+                // pair so identical re-registrations skip the walk until
+                // the object dies.
+                caches.reg[((loc >> 3) as usize) & (REG_CACHE_SLOTS - 1)].set(RegCacheSlot {
+                    det_id: self.id,
+                    meta_val,
+                    epoch,
+                    loc,
+                    value,
+                });
+                caches.reg_used.set(true);
+            }
+        })
     }
 
     /// Invalidates one logged location, classifying the outcome.
@@ -384,22 +480,100 @@ impl Detector for DangSan {
 
     fn on_free(&self, base: Addr) -> InvalidationReport {
         let mut report = InvalidationReport::default();
-        let Some(meta) = self.ptr2obj(base) else {
+        let Some(meta) = self.ptr2obj_cold(base) else {
             return report;
         };
-        // Flush every thread's (object → log) cache entries and memoized
-        // registrations before any of this object's logs are detached or
-        // recycled: a fresh stamp makes every existing slot a mismatch.
-        self.cache_stamp
-            .store(fresh_detector_stamp(), Ordering::Release);
-        // Walk every thread's log and invalidate what still points here.
+        // Retire this object's epoch before any of its logs are detached
+        // or recycled: every cache slot keyed on (this record, old epoch)
+        // — on any thread, in any layer — stops matching from here on.
+        // Slots naming *other* objects are untouched, which is the whole
+        // point: a free costs only the object being freed.
+        meta.epoch.store(fresh_epoch(), Ordering::Release);
+        // Drain every tier of every thread's log into one pooled scratch
+        // buffer (no host allocation in steady state)...
+        let mut locs = self.scratch.take();
         let mut cur = meta.head.load(Ordering::Acquire);
         while !cur.is_null() {
             // SAFETY: logs are pool-owned and type-stable.
             let log = unsafe { &*cur };
-            log.for_each_location(|loc| self.invalidate_location(meta, loc, &mut report));
+            log.for_each_location(|loc| locs.push(loc));
             cur = log.next.load(Ordering::Acquire);
         }
+        let walked = locs.len() as u64;
+        // ...then collapse duplicates (cross-thread repeats plus
+        // same-thread repeats the lookback window missed) so each
+        // location is classified exactly once...
+        locs.sort_unstable();
+        locs.dedup();
+        let unique = locs.len() as u64;
+        // ...and invalidate page by page: sorting put each page's
+        // locations in one contiguous run, so one translation serves the
+        // whole run — and an unmapped page is discovered once, not once
+        // per location.
+        let mut pages = 0u64;
+        let mut i = 0;
+        while i < locs.len() {
+            let page_base = locs[i] & !(PAGE_SIZE - 1);
+            let mut j = i + 1;
+            while j < locs.len() && locs[j] & !(PAGE_SIZE - 1) == page_base {
+                j += 1;
+            }
+            pages += 1;
+            let run = &locs[i..j];
+            if self.cfg.page_batched_free {
+                match self.mem.with_page(run[0]) {
+                    Err(fault) => {
+                        debug_assert_eq!(fault.kind, FaultKind::Unmapped);
+                        // The memory holding the pointers was released
+                        // (e.g. a popped thread stack): the paper catches
+                        // SIGSEGV here and skips — counted per location
+                        // for report compatibility, paid once per page.
+                        report.skipped_unmapped += run.len() as u64;
+                        self.stats
+                            .sigsegv_skips
+                            .fetch_add(run.len() as u64, Ordering::Relaxed);
+                    }
+                    Ok(page) => {
+                        for &loc in run {
+                            let value = page.read_word(loc);
+                            if meta.in_range(value) {
+                                // CAS so a pointer concurrently overwritten
+                                // by another thread is never clobbered
+                                // (§4.4). Setting only the MSB keeps the
+                                // address recoverable for debugging.
+                                match page.cas_word(loc, value, value | INVALID_BIT) {
+                                    CasOutcome::Stored => {
+                                        report.invalidated += 1;
+                                        Stats::bump(&self.stats.ptrs_invalidated);
+                                    }
+                                    CasOutcome::Conflict { .. } => {
+                                        report.stale += 1;
+                                        Stats::bump(&self.stats.stale_ptrs);
+                                    }
+                                }
+                            } else {
+                                report.stale += 1;
+                                Stats::bump(&self.stats.stale_ptrs);
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Ablation path: identical location set and classification,
+                // but one full translation per location.
+                for &loc in run {
+                    self.invalidate_location(meta, loc, &mut report);
+                }
+            }
+            i = j;
+        }
+        self.stats.bump_hot_by(&[
+            (Hot::FreeLocsWalked, walked),
+            (Hot::FreeDupLocs, walked - unique),
+            (Hot::FreePagesTouched, pages),
+            (Hot::free_hist_bucket(walked), 1),
+        ]);
+        self.scratch.recycle(locs);
         // Tear down: clear the shadow mapping, then recycle logs and meta.
         let covered = meta.covered.load(Ordering::Acquire);
         self.map
@@ -419,7 +593,7 @@ impl Detector for DangSan {
     }
 
     fn on_realloc_in_place(&self, base: Addr, new_size: u64) {
-        if let Some(meta) = self.ptr2obj(base) {
+        if let Some(meta) = self.ptr2obj_cold(base) {
             // The mapping (stride) is unchanged; only the valid range
             // grows or shrinks. This is the paper's "createobj again"
             // for in-place growth.
@@ -450,11 +624,35 @@ impl Detector for DangSan {
         // their new locations; the free-time value check keeps any
         // integer false positives harmless in the same way it handles
         // stale entries.
+        //
+        // The scan is page-batched: one translation per page of the
+        // destination, not one per word. Word-aligned destinations only —
+        // a misaligned word cannot hold an aligned heap pointer the
+        // detector would ever track, and the per-word path would fault on
+        // every read anyway.
+        if dst % 8 != 0 {
+            return;
+        }
         let words = len / 8;
-        for i in 0..words {
+        let mut i = 0u64;
+        while i < words {
             let loc = dst + i * 8;
-            if let Ok(value) = self.mem.read_word(loc) {
-                self.register_ptr(loc, value);
+            let span = (words - i).min(((loc & !(PAGE_SIZE - 1)) + PAGE_SIZE - loc) / 8);
+            match self.mem.with_page(loc) {
+                Err(_) => {
+                    // Unmapped destination page: the old per-word loop
+                    // skipped each of its words individually; skip them
+                    // wholesale (pages are mapped and unmapped as units).
+                    i += span;
+                }
+                Ok(page) => {
+                    for w in 0..span {
+                        let loc = loc + w * 8;
+                        let value = page.read_word(loc);
+                        self.register_ptr(loc, value);
+                    }
+                    i += span;
+                }
             }
         }
     }
@@ -737,6 +935,97 @@ mod tests {
             b.base | INVALID_BIT,
             "pointer to the reused object is invalidated through the cache"
         );
+    }
+
+    #[test]
+    fn freeing_one_object_keeps_other_objects_caches_warm() {
+        // The point of per-object epochs: freeing A retires only A's
+        // epoch, so cached state for B — filled before the free, on any
+        // thread — keeps validating. Under the old detector-global stamp
+        // the free below flushed everything and the post-free stores all
+        // missed.
+        let (mem, heap, det) = setup();
+        let holder = alloc(&heap, &det, &mem, 8 * 2);
+        let a = alloc(&heap, &det, &mem, 48);
+        let b = alloc(&heap, &det, &mem, 48);
+        // Warm the log cache for both objects.
+        for obj in [a.base, b.base] {
+            for _ in 0..4 {
+                mem.write_word(holder.base, obj).unwrap();
+                det.register_ptr(holder.base, obj);
+            }
+        }
+        let warmed = det.stats();
+        det.on_free(a.base);
+        // Stores into B after A's free must still hit B's cached log.
+        for _ in 0..8 {
+            mem.write_word(holder.base + 8, b.base).unwrap();
+            det.register_ptr(holder.base + 8, b.base);
+        }
+        let after = det.stats();
+        assert_eq!(
+            after.log_cache_misses, warmed.log_cache_misses,
+            "freeing A must not evict B's log-cache slot"
+        );
+        assert_eq!(after.log_cache_hits, warmed.log_cache_hits + 8);
+        // And B's log really did receive the entries: free proves it
+        // (both holder slots point at B by now).
+        let r = det.on_free(b.base);
+        assert_eq!(r.invalidated, 2, "post-free registrations landed in B's log");
+    }
+
+    #[test]
+    fn freeing_one_object_keeps_another_threads_cache_for_b_valid() {
+        // Cross-thread variant of the acceptance criterion: thread T warms
+        // its per-thread caches for object B, the main thread frees object
+        // A, and T's next burst of stores into B still validates against
+        // its cached slots (epochs are per object, caches are per thread —
+        // neither axis is flushed by an unrelated free).
+        let (mem, heap, det) = setup();
+        let holder = alloc(&heap, &det, &mem, 8 * 2);
+        let a = alloc(&heap, &det, &mem, 48);
+        let b = alloc(&heap, &det, &mem, 48);
+        let (warm_tx, warm_rx) = std::sync::mpsc::channel();
+        let (freed_tx, freed_rx) = std::sync::mpsc::channel();
+        let worker = {
+            let (mem, det) = (Arc::clone(&mem), Arc::clone(&det));
+            let (loc, b_base) = (holder.base, b.base);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    mem.write_word(loc, b_base).unwrap();
+                    det.register_ptr(loc, b_base);
+                }
+                let warmed = det.stats();
+                warm_tx.send(()).unwrap();
+                freed_rx.recv().unwrap();
+                for _ in 0..8 {
+                    mem.write_word(loc, b_base).unwrap();
+                    det.register_ptr(loc, b_base);
+                }
+                let after = det.stats();
+                (warmed, after)
+            })
+        };
+        warm_rx.recv().unwrap();
+        // Main thread registers into A and frees it while T waits.
+        mem.write_word(holder.base + 8, a.base).unwrap();
+        det.register_ptr(holder.base + 8, a.base);
+        let r = det.on_free(a.base);
+        assert_eq!(r.invalidated, 1);
+        freed_tx.send(()).unwrap();
+        let (warmed, after) = worker.join().unwrap();
+        // Stats are detector-global, and the main thread's registration
+        // into A (a cold cache on its own thread: one miss) happened
+        // between the two snapshots — so exactly one miss is expected,
+        // and none of it came from T's post-free stores into B.
+        assert_eq!(
+            after.log_cache_misses,
+            warmed.log_cache_misses + 1,
+            "only the main thread's A registration may miss"
+        );
+        assert_eq!(after.log_cache_hits, warmed.log_cache_hits + 8);
+        let r = det.on_free(b.base);
+        assert_eq!(r.invalidated, 1);
     }
 
     #[test]

@@ -8,6 +8,20 @@ use dangsan_vmem::Addr;
 use crate::log::ThreadLog;
 use crate::pool::PoolItem;
 
+/// Epochs are drawn from this global counter and never reused: every
+/// *lifetime* of every record — in any pool, in any detector — gets a
+/// value no other lifetime ever had. A cache slot keyed on
+/// `(record, epoch)` can therefore only validate during the exact
+/// allocation lifetime that filled it; pool recycling, detector teardown
+/// and address reuse by the host allocator all make the key a mismatch
+/// instead of an ABA hazard.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Returns a never-before-issued epoch (see [`ObjectMeta::epoch`]).
+pub fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Metadata for one tracked heap object: its range plus the head of its
 /// lock-free list of per-thread logs (paper Figure 6).
 ///
@@ -24,6 +38,15 @@ pub struct ObjectMeta {
     pub covered: AtomicU64,
     /// Head of the per-thread log list.
     pub head: AtomicPtr<ThreadLog>,
+    /// The record's current lifetime, from [`fresh_epoch`]. Replaced at
+    /// *both* ends of the lifetime — on [`ObjectMeta::init`] and again at
+    /// the start of the detector's free path — so hot-path cache slots
+    /// that captured `(record, epoch)` stop matching the instant the
+    /// object dies, without any cross-object or cross-thread flush. The
+    /// double replacement closes the mid-free window: a slot filled while
+    /// a free is in flight holds the free's epoch, which `init` then
+    /// retires before the record can be reused.
+    pub epoch: AtomicU64,
     pool_next: AtomicPtr<ObjectMeta>,
 }
 
@@ -34,6 +57,7 @@ impl Default for ObjectMeta {
             end: AtomicU64::new(0),
             covered: AtomicU64::new(0),
             head: AtomicPtr::new(ptr::null_mut()),
+            epoch: AtomicU64::new(0),
             pool_next: AtomicPtr::new(ptr::null_mut()),
         }
     }
@@ -46,12 +70,14 @@ impl PoolItem for ObjectMeta {
 }
 
 impl ObjectMeta {
-    /// Initialises the record for a new object.
+    /// Initialises the record for a new object, starting a fresh lifetime
+    /// (see [`ObjectMeta::epoch`]).
     pub fn init(&self, base: Addr, size: u64, covered: u64) {
         self.base.store(base, Ordering::Release);
         self.end.store(base + size, Ordering::Release);
         self.covered.store(covered, Ordering::Release);
         self.head.store(ptr::null_mut(), Ordering::Release);
+        self.epoch.store(fresh_epoch(), Ordering::Release);
     }
 
     /// Whether `value` points into the object (inclusive end, see `end`).

@@ -17,8 +17,8 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex, Weak};
 
-/// Number of hot (per-store) counters batched per thread.
-const HOT_COUNTERS: usize = 5;
+/// Number of hot (per-store or per-free) counters batched per thread.
+const HOT_COUNTERS: usize = 13;
 
 /// Index of one hot counter in the per-thread batch.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,39 @@ pub enum Hot {
     LogCacheHits = 3,
     /// `registerptr` calls that took the uncached walk while caches were on.
     LogCacheMisses = 4,
+    /// Locations drained from all log tiers at free time, duplicates
+    /// included (the size of the invalidation walk before dedup).
+    FreeLocsWalked = 5,
+    /// Distinct vmem pages the free path resolved (each translated once).
+    FreePagesTouched = 6,
+    /// Drained locations discarded as duplicates before translation
+    /// (cross-thread repeats plus same-thread repeats the lookback
+    /// window missed).
+    FreeDupLocs = 7,
+    /// Frees that drained no locations at all.
+    FreeHistEmpty = 8,
+    /// Frees that drained 1–8 locations (embedded tier only).
+    FreeHistSmall = 9,
+    /// Frees that drained 9–64 locations.
+    FreeHistMedium = 10,
+    /// Frees that drained 65–512 locations.
+    FreeHistLarge = 11,
+    /// Frees that drained more than 512 locations.
+    FreeHistHuge = 12,
+}
+
+impl Hot {
+    /// The free-size histogram bucket for a free that drained `walked`
+    /// locations.
+    pub fn free_hist_bucket(walked: u64) -> Hot {
+        match walked {
+            0 => Hot::FreeHistEmpty,
+            1..=8 => Hot::FreeHistSmall,
+            9..=64 => Hot::FreeHistMedium,
+            65..=512 => Hot::FreeHistLarge,
+            _ => Hot::FreeHistHuge,
+        }
+    }
 }
 
 /// One thread's hot counts for one `Stats` instance. Only the owning
@@ -192,6 +225,16 @@ pub struct StatsSnapshot {
     pub ptr2obj_cache_hits: u64,
     /// Per-thread `ptr2obj` cache misses in the metapagetable.
     pub ptr2obj_cache_misses: u64,
+    /// See [`Hot::FreeLocsWalked`].
+    pub free_locs_walked: u64,
+    /// See [`Hot::FreePagesTouched`].
+    pub free_pages_touched: u64,
+    /// See [`Hot::FreeDupLocs`].
+    pub free_dup_locs: u64,
+    /// Per-free histogram of locations drained: buckets 0, 1–8, 9–64,
+    /// 65–512, >512 (see [`Hot::FreeHistEmpty`] and friends). Sums to
+    /// `objects_freed` for frees that went through the walk.
+    pub free_locs_hist: [u64; 5],
 }
 
 impl Stats {
@@ -235,6 +278,16 @@ impl Stats {
             tlb_misses: 0,
             ptr2obj_cache_hits: 0,
             ptr2obj_cache_misses: 0,
+            free_locs_walked: h(Hot::FreeLocsWalked),
+            free_pages_touched: h(Hot::FreePagesTouched),
+            free_dup_locs: h(Hot::FreeDupLocs),
+            free_locs_hist: [
+                h(Hot::FreeHistEmpty),
+                h(Hot::FreeHistSmall),
+                h(Hot::FreeHistMedium),
+                h(Hot::FreeHistLarge),
+                h(Hot::FreeHistHuge),
+            ],
         }
     }
 
@@ -277,6 +330,19 @@ impl Stats {
         });
     }
 
+    /// Increments two hot counters in one batch access (the cached
+    /// registration path counts a registration plus a cache hit or miss
+    /// per store; one thread-local round trip covers both).
+    #[inline]
+    pub fn bump_hot2(&self, a: Hot, b: Hot) {
+        self.with_batch(|s| {
+            for which in [a, b] {
+                let c = &s.counts[which as usize];
+                c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            }
+        });
+    }
+
     /// Increments three hot counters in one batch access (the cached
     /// registration fast path counts a registration, a duplicate and a
     /// cache hit per store; one thread-local round trip covers all three).
@@ -286,6 +352,22 @@ impl Stats {
             for which in [a, b, c] {
                 let c = &s.counts[which as usize];
                 c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Adds `deltas` to hot counters in one batch access — the free path
+    /// accounts a whole invalidation walk (locations drained, pages
+    /// touched, duplicates dropped, histogram bucket) with a single
+    /// thread-local round trip. Zero deltas are skipped.
+    #[inline]
+    pub fn bump_hot_by(&self, deltas: &[(Hot, u64)]) {
+        self.with_batch(|s| {
+            for &(which, n) in deltas {
+                if n > 0 {
+                    let c = &s.counts[which as usize];
+                    c.store(c.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+                }
             }
         });
     }
@@ -348,6 +430,31 @@ mod tests {
             });
         });
         assert_eq!(a.snapshot().ptrs_registered, 100);
+    }
+
+    #[test]
+    fn bulk_bumps_and_histogram_buckets() {
+        let s = Stats::default();
+        s.bump_hot_by(&[
+            (Hot::FreeLocsWalked, 70),
+            (Hot::FreePagesTouched, 3),
+            (Hot::FreeDupLocs, 0), // skipped, not stored
+            (Hot::free_hist_bucket(70), 1),
+        ]);
+        s.bump_hot_by(&[(Hot::free_hist_bucket(0), 1)]);
+        let snap = s.snapshot();
+        assert_eq!(snap.free_locs_walked, 70);
+        assert_eq!(snap.free_pages_touched, 3);
+        assert_eq!(snap.free_dup_locs, 0);
+        assert_eq!(snap.free_locs_hist, [1, 0, 0, 1, 0]);
+        // Bucket boundaries.
+        for (walked, bucket) in [(1u64, 1usize), (8, 1), (9, 2), (64, 2), (65, 3), (512, 3), (513, 4)] {
+            let t = Stats::default();
+            t.bump_hot_by(&[(Hot::free_hist_bucket(walked), 1)]);
+            let mut expect = [0u64; 5];
+            expect[bucket] = 1;
+            assert_eq!(t.snapshot().free_locs_hist, expect, "walked={walked}");
+        }
     }
 
     #[test]

@@ -146,3 +146,105 @@ fn invalidation_is_sound_and_precise() {
         assert!(s.ptrs_registered >= s.dup_ptrs);
     }
 }
+
+/// Concurrency: per-object epochs must make every per-thread cache slot
+/// die with the object lifetime that filled it. Worker threads register
+/// pointers through the cached hot path while the main thread frees and
+/// reallocates the *same* heap slot over and over — recycling the same
+/// metadata record and logs through the pools, and re-creating the exact
+/// (location, value) pairs the workers' registration memos captured in the
+/// previous lifetime. A stale slot that validated across lifetimes would
+/// swallow a registration (memo) or append into a recycled log (log
+/// cache); either way the next free's invalidation count comes up short,
+/// which is what this test pins.
+#[test]
+fn concurrent_free_recycle_never_validates_stale_cache_slots() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    const WORKERS: usize = 4;
+    /// Distinct pointer slots per worker.
+    const PER: usize = 16;
+    /// Identical re-registrations, so the memo engages once a log reaches
+    /// its hash tier.
+    const PASSES: usize = 3;
+    #[cfg(not(feature = "heavy-tests"))]
+    const ROUNDS: usize = 40;
+    #[cfg(feature = "heavy-tests")]
+    const ROUNDS: usize = 400;
+
+    for case in 0..4u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED + case);
+        let cfg = Config {
+            lookback: rng.gen_range(0usize..3),
+            compression: rng.gen_bool(0.5),
+            // Tiny array tiers: logs reach the hash tier within one round.
+            indirect_capacity: 4,
+            hash_initial: 16,
+            ..Config::default()
+        };
+        let mem = Arc::new(AddressSpace::new());
+        let heap = Heap::new(Arc::clone(&mem));
+        let det = DangSan::new(Arc::clone(&mem), cfg);
+
+        let slab = heap.malloc((WORKERS * PER) as u64 * 8).unwrap();
+        det.on_alloc(&slab);
+        let published = Arc::new(AtomicU64::new(0));
+        let start = Arc::new(Barrier::new(WORKERS + 1));
+        let done = Arc::new(Barrier::new(WORKERS + 1));
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let (mem, det) = (Arc::clone(&mem), Arc::clone(&det));
+                let published = Arc::clone(&published);
+                let (start, done) = (Arc::clone(&start), Arc::clone(&done));
+                let slot0 = slab.base + (w * PER) as u64 * 8;
+                std::thread::spawn(move || loop {
+                    start.wait();
+                    let base = published.load(Ordering::Acquire);
+                    if base == 0 {
+                        return;
+                    }
+                    for _pass in 0..PASSES {
+                        for k in 0..PER as u64 {
+                            let loc = slot0 + k * 8;
+                            let val = base + (k % 8) * 8;
+                            mem.write_word(loc, val).unwrap();
+                            det.register_ptr(loc, val);
+                        }
+                    }
+                    done.wait();
+                })
+            })
+            .collect();
+
+        let mut prev_base = None;
+        for round in 0..ROUNDS {
+            let obj = heap.malloc(64).unwrap();
+            if let Some(prev) = prev_base {
+                // The allocator hands the same slot back, so the round
+                // really does re-create the previous lifetime's pairs.
+                assert_eq!(obj.base, prev, "heap stopped recycling the slot");
+            }
+            prev_base = Some(obj.base);
+            det.on_alloc(&obj);
+            published.store(obj.base, Ordering::Release);
+            start.wait();
+            done.wait();
+            // All registrations happened before the barrier, so the free
+            // must find — and invalidate — every single slot.
+            let r = det.on_free(obj.base);
+            assert_eq!(
+                r.invalidated as usize,
+                WORKERS * PER,
+                "round {round}: a stale cache slot swallowed a registration"
+            );
+            heap.free(obj.base).unwrap();
+        }
+        published.store(0, Ordering::Release);
+        start.wait();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

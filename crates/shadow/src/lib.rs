@@ -42,62 +42,72 @@ const P2O_SLOTS: usize = 64;
 
 /// One cached (heap page → packed metapagetable entry) translation.
 ///
-/// Validity is a single stamp compare: stamps come from a global
-/// never-reused counter, and a table takes a fresh stamp on every
-/// `clear_object`, so a slot whose stamp equals the table's *current*
-/// stamp was filled by this very table with no object clear since. Leaf
-/// entries are written exactly once by [`MetaPageTable::register_span`]
-/// (CAS from zero, "spans never change class") and freed only on drop, so
-/// a cached packed entry for a live table can never dangle; the stamp
-/// check is defence in depth that also gives `clear_object` a whole-cache
-/// flush, keeping the cache's observable behaviour identical to the
-/// uncached walk even if that invariant ever weakens.
+/// Validity is a *single* u64 compare: the key packs the filling table's
+/// never-reused identity (upper 40 bits) with the heap page index (lower
+/// 24 bits — the 64 GiB heap has exactly 2^24 pages), so one equality
+/// test proves both "this very table" and "this very page" at once. No
+/// generation is needed: leaf entries are written exactly once by
+/// [`MetaPageTable::register_span`] (CAS from zero, "spans never change
+/// class") and freed only on drop, so a cached packed entry for a live
+/// table — which `&self` guarantees — is immutable and can never dangle.
+/// Object churn (`set_object`/`clear_object`) mutates the metadata
+/// *array* the entry points at, which every lookup re-reads, so cached
+/// translations stay exactly as precise as the full walk without any
+/// flush on free.
 #[derive(Clone, Copy)]
 struct P2oSlot {
-    /// The filling table's `cache_stamp` at fill time; 0 is never issued.
-    stamp: u64,
-    /// Global heap page index the entry translates.
-    page: u64,
+    /// `table identity << 24 | page index`; identities start at 1, so a
+    /// zeroed slot (key 0) can never match.
+    key: u64,
     /// The packed (array pointer | shift) leaf entry.
     entry: u64,
 }
 
 impl P2oSlot {
-    const EMPTY: P2oSlot = P2oSlot {
-        stamp: 0,
-        page: 0,
-        entry: 0,
-    };
+    const EMPTY: P2oSlot = P2oSlot { key: 0, entry: 0 };
 }
 
 struct ThreadP2o {
     slots: [Cell<P2oSlot>; P2O_SLOTS],
-    pending_stamp: Cell<u64>,
-    pending_hits: Cell<u64>,
+    /// Hit-batch *countdown*: hits remaining before the batch flushes.
+    /// Counting down instead of up lets the hit path be load / decrement /
+    /// branch-if-zero / store — no compare against a limit, and no
+    /// attribution check at all (that waits until flush time, which is
+    /// rare). Starts full.
+    hits_left: Cell<u64>,
+    /// Pre-shifted identity of the table the current batch is attributed
+    /// to. Read and written only on flush and miss, never on the hit path;
+    /// in the single-live-table steady state every process has, the
+    /// attribution is exact (see [`MetaPageTable::cache_stats`]).
+    batch_owner: Cell<u64>,
 }
 
-/// Hits are batched per thread and flushed to the table's counter after
-/// this many (and on every miss), keeping a shared `fetch_add` off the
-/// instrumented-store fast path.
+/// Hits are batched per thread and flushed to the owning table's counter
+/// after this many (and on every miss), keeping a shared `fetch_add` off
+/// the instrumented-store fast path.
 const HIT_FLUSH_EVERY: u64 = 64;
 
 thread_local! {
     static P2O: ThreadP2o = const {
         ThreadP2o {
             slots: [const { Cell::new(P2oSlot::EMPTY) }; P2O_SLOTS],
-            pending_stamp: Cell::new(0),
-            pending_hits: Cell::new(0),
+            hits_left: Cell::new(HIT_FLUSH_EVERY),
+            batch_owner: Cell::new(0),
         }
     };
 }
 
-/// Stamps are handed out once and never reused (across all tables), so a
-/// stale thread-local entry — from a dropped table, another table, or this
-/// table before a `clear_object` — can never match.
-static NEXT_P2O_STAMP: AtomicU64 = AtomicU64::new(1);
+/// Table identities are handed out once and never reused, so a stale
+/// thread-local entry — from a dropped table or another live one — can
+/// never match a key built from a different table's identity.
+static NEXT_TABLE_IDENTITY: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_p2o_stamp() -> u64 {
-    NEXT_P2O_STAMP.fetch_add(1, Ordering::Relaxed)
+/// Returns a fresh identity, pre-shifted into the upper bits of the
+/// packed cache key (see [`P2oSlot`]).
+fn fresh_table_identity() -> u64 {
+    let id = NEXT_TABLE_IDENTITY.fetch_add(1, Ordering::Relaxed);
+    debug_assert!(id < 1 << 40, "table identities exhausted");
+    id << 24
 }
 
 /// Hit/miss counters for a table's per-thread `ptr2obj` caches (see
@@ -141,10 +151,11 @@ pub struct MetaPageTable {
     l1: Box<[AtomicPtr<Leaf>]>,
     /// Host bytes spent on leaves + metadata arrays (for Figure 11/12).
     shadow_bytes: AtomicU64,
-    /// This table's current cache validity stamp (see [`P2oSlot`]):
-    /// globally unique, replaced on every `clear_object`, which flushes
-    /// all cached translations at once.
-    cache_stamp: AtomicU64,
+    /// This table's never-reused identity, pre-shifted for key packing
+    /// (see [`P2oSlot`]). Immutable for the table's lifetime — the cache
+    /// never needs flushing, so freeing an object costs other threads'
+    /// warm translations nothing.
+    identity: u64,
     /// Runtime kill switch used by the hot-path benchmarks.
     cache_enabled: AtomicBool,
     cache_hits: AtomicU64,
@@ -171,7 +182,7 @@ impl MetaPageTable {
                 .map(|_| AtomicPtr::new(ptr::null_mut()))
                 .collect(),
             shadow_bytes: AtomicU64::new(0),
-            cache_stamp: AtomicU64::new(fresh_p2o_stamp()),
+            identity: fresh_table_identity(),
             cache_enabled: AtomicBool::new(true),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -283,11 +294,13 @@ impl MetaPageTable {
     }
 
     /// Clears the object mapping for `[base, base + len)` (called on free).
+    ///
+    /// Deliberately does *not* touch the per-thread translation caches:
+    /// they memoize the page's packed leaf entry, which is immutable, while
+    /// this call zeroes the metadata array behind it — which every lookup
+    /// re-reads. A warm cache therefore observes the clear (and any later
+    /// reuse of the slots) immediately, at zero cost to other threads.
     pub fn clear_object(&self, base: Addr, len: u64) {
-        // Flush every thread's cached translations before the slots are
-        // zeroed, so a cache filled before this free cannot be mistaken
-        // for one filled after a later reuse of the same pages.
-        self.cache_stamp.store(fresh_p2o_stamp(), Ordering::Release);
         self.set_object(base, len, 0);
     }
 
@@ -311,33 +324,59 @@ impl MetaPageTable {
         (meta != 0).then_some(meta)
     }
 
+    /// [`Self::lookup`] minus the per-thread cache: the straight two-load
+    /// walk, unconditionally. A one-shot resolution — the single `ptr2obj`
+    /// of a free or a realloc — touches its entry once, so probing the
+    /// cache can only add cost and evict a slot some hot store loop is
+    /// using; callers on those paths use this instead.
+    #[inline]
+    pub fn lookup_cold(&self, addr: Addr) -> Option<u64> {
+        let idx = Self::page_index(addr)?;
+        let entry = self.entry_walk(idx)?;
+        let (array, shift) = unpack_entry(entry);
+        let slot = ((addr & (PAGE_SIZE - 1)) >> shift) as usize;
+        // SAFETY: the array has `PAGE_SIZE >> shift` slots and
+        // `addr & 0xFFF >> shift` is below that bound.
+        let meta = unsafe { (*array.add(slot)).load(Ordering::Acquire) };
+        (meta != 0).then_some(meta)
+    }
+
     /// Resolves the packed leaf entry for global heap page `idx`, consulting
-    /// the calling thread's cache first.
+    /// the calling thread's cache first. The hit path is one u64 compare
+    /// against the packed (identity | page) key — no atomic load, no second
+    /// branch — which is what lets it beat the two-load walk even when the
+    /// walk's cache lines are L1-resident.
     #[inline]
     fn entry_for_page(&self, idx: usize) -> Option<u64> {
         if !self.cache_enabled.load(Ordering::Relaxed) {
             return self.entry_walk(idx);
         }
-        let slot_idx = idx & (P2O_SLOTS - 1);
+        let key = self.identity | idx as u64;
         P2O.with(|cache| {
-            let slot = cache.slots[slot_idx].get();
-            let stamp = self.cache_stamp.load(Ordering::Acquire);
-            if slot.stamp == stamp && slot.page == idx as u64 {
-                self.note_cache_hit(cache, stamp);
-                return Some(slot.entry);
+            let slot = cache.slots[idx & (P2O_SLOTS - 1)].get();
+            if slot.key == key {
+                self.note_cache_hit(cache);
+                Some(slot.entry)
+            } else {
+                self.fill_slot(cache, idx, key)
             }
-            self.flush_pending_hits(cache);
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let entry = self.entry_walk(idx)?;
-            // Unregistered pages (None) are never cached: registration
-            // must become visible on the very next lookup.
-            cache.slots[slot_idx].set(P2oSlot {
-                stamp,
-                page: idx as u64,
-                entry,
-            });
-            Some(entry)
         })
+    }
+
+    /// The miss path: flush the hit batch, walk, fill the slot. Kept out
+    /// of line so the hit path compiles to a handful of instructions.
+    #[cold]
+    fn fill_slot(&self, cache: &ThreadP2o, idx: usize, key: u64) -> Option<u64> {
+        self.flush_pending_hits(cache);
+        // The batch that starts now is this table's (any foreign remnant
+        // was just dropped by the flush).
+        cache.batch_owner.set(self.identity);
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let entry = self.entry_walk(idx)?;
+        // Unregistered pages (None) are never cached: registration
+        // must become visible on the very next lookup.
+        cache.slots[idx & (P2O_SLOTS - 1)].set(P2oSlot { key, entry });
+        Some(entry)
     }
 
     /// The uncached two-level walk.
@@ -348,28 +387,32 @@ impl MetaPageTable {
         (entry != 0).then_some(entry)
     }
 
-    #[inline]
-    fn note_cache_hit(&self, cache: &ThreadP2o, stamp: u64) {
-        if cache.pending_stamp.get() != stamp {
-            cache.pending_stamp.set(stamp);
-            cache.pending_hits.set(0);
-        }
-        let n = cache.pending_hits.get() + 1;
-        if n >= HIT_FLUSH_EVERY {
-            self.cache_hits.fetch_add(n, Ordering::Relaxed);
-            cache.pending_hits.set(0);
+    /// Records one cache hit: decrement the countdown, flush the batch
+    /// when it reaches zero. Attribution to a table happens only at flush
+    /// time — a batch whose owner is a *different* table (possible only
+    /// when lookups of two live tables interleave on one thread with no
+    /// miss in between) is dropped rather than flushed, so a counter is
+    /// never inflated by a table that may already be gone.
+    #[inline(always)]
+    fn note_cache_hit(&self, cache: &ThreadP2o) {
+        let left = cache.hits_left.get() - 1;
+        if left == 0 {
+            if cache.batch_owner.get() == self.identity {
+                self.cache_hits.fetch_add(HIT_FLUSH_EVERY, Ordering::Relaxed);
+            }
+            cache.hits_left.set(HIT_FLUSH_EVERY);
         } else {
-            cache.pending_hits.set(n);
+            cache.hits_left.set(left);
         }
     }
 
     fn flush_pending_hits(&self, cache: &ThreadP2o) {
-        if cache.pending_stamp.get() == self.cache_stamp.load(Ordering::Acquire) {
-            let n = cache.pending_hits.get();
-            if n > 0 {
+        let n = HIT_FLUSH_EVERY - cache.hits_left.get();
+        if n > 0 {
+            if cache.batch_owner.get() == self.identity {
                 self.cache_hits.fetch_add(n, Ordering::Relaxed);
-                cache.pending_hits.set(0);
             }
+            cache.hits_left.set(HIT_FLUSH_EVERY);
         }
     }
 
@@ -377,7 +420,11 @@ impl MetaPageTable {
     ///
     /// The calling thread's pending hit batch is flushed first, so
     /// single-threaded counts are exact; concurrent threads may each lag
-    /// by one unflushed batch.
+    /// by one unflushed batch. When lookups of *several* live tables
+    /// interleave on one thread with no miss in between, a mixed batch is
+    /// attributed to the table that started it (hits are accounted at
+    /// flush time, not per lookup) — a deliberate, bounded imprecision
+    /// that keeps the hit path to four instructions of accounting.
     pub fn cache_stats(&self) -> P2oCacheStats {
         P2O.with(|cache| self.flush_pending_hits(cache));
         P2oCacheStats {
@@ -564,6 +611,29 @@ mod tests {
             assert_eq!(t.lookup(HEAP_BASE), Some(9));
         }
         assert_eq!(t.cache_stats(), s, "disabled cache counts nothing");
+    }
+
+    #[test]
+    fn clear_object_keeps_other_pages_translations_warm() {
+        let t = MetaPageTable::new();
+        t.register_span(HEAP_BASE, 2, 6);
+        t.set_object(HEAP_BASE, 64, 1); // page 0
+        t.set_object(HEAP_BASE + PAGE_SIZE, 64, 2); // page 1
+        // Warm both pages' translations, then drain the pending batch so
+        // the counters below are exact.
+        for _ in 0..10 {
+            assert_eq!(t.lookup(HEAP_BASE), Some(1));
+            assert_eq!(t.lookup(HEAP_BASE + PAGE_SIZE), Some(2));
+        }
+        let before = t.cache_stats();
+        // Freeing the object on page 0 must not flush page 1's slot: the
+        // next lookups are all hits, zero new misses.
+        t.clear_object(HEAP_BASE, 64);
+        assert_eq!(t.lookup(HEAP_BASE + PAGE_SIZE), Some(2));
+        assert_eq!(t.lookup(HEAP_BASE), None, "clear itself is observed");
+        let after = t.cache_stats();
+        assert_eq!(after.misses, before.misses, "free flushed a translation");
+        assert_eq!(after.hits, before.hits + 2);
     }
 
     #[test]

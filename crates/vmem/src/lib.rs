@@ -31,7 +31,7 @@ pub use layout::{
     canonical, is_canonical_user, page_of, word_index, Addr, GLOBALS_BASE, GLOBALS_SIZE, HEAP_BASE,
     HEAP_SIZE, INVALID_BIT, PAGE_SHIFT, PAGE_SIZE, STACKS_BASE, STACKS_SIZE, WORDS_PER_PAGE,
 };
-pub use space::{AddressSpace, CasOutcome, TlbStats};
+pub use space::{AddressSpace, CasOutcome, PageRef, TlbStats};
 
 /// The kind of memory fault produced by an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -81,12 +81,22 @@ impl TlbSlot {
 /// batch of hit counts not yet flushed to the owning space's atomic
 /// counter (flushing every hit would put a contended `fetch_add` back on
 /// the path the TLB exists to shorten).
+///
+/// Hit accounting is a countdown, not a tally: the hit path only loads,
+/// decrements and stores `hits_left`, and every `HIT_FLUSH_EVERY`th hit
+/// takes a branch that credits the whole batch to `batch_owner`. Checking
+/// *which* space got each hit on every access (a compare plus a second
+/// cell store) measurably slowed the very path being counted; deferring
+/// the attribution to batch boundaries keeps the common case at one
+/// predictable branch.
 struct ThreadTlb {
     slots: [Cell<TlbSlot>; TLB_SLOTS],
-    /// Stamp of the space the pending hit count belongs to.
-    pending_stamp: Cell<u64>,
-    /// Hits accumulated since the last flush (< `HIT_FLUSH_EVERY`).
-    pending_hits: Cell<u64>,
+    /// Hits remaining before the current batch is flushed; starts (and
+    /// resets to) `HIT_FLUSH_EVERY`.
+    hits_left: Cell<u64>,
+    /// Stamp of the space the in-flight batch is credited to: the last
+    /// space that took a miss on this thread.
+    batch_owner: Cell<u64>,
 }
 
 /// Pending hits are published to the space after this many accumulate (and
@@ -98,8 +108,8 @@ thread_local! {
     static TLB: ThreadTlb = const {
         ThreadTlb {
             slots: [const { Cell::new(TlbSlot::EMPTY) }; TLB_SLOTS],
-            pending_stamp: Cell::new(0),
-            pending_hits: Cell::new(0),
+            hits_left: Cell::new(HIT_FLUSH_EVERY),
+            batch_owner: Cell::new(0),
         }
     };
 }
@@ -179,6 +189,67 @@ pub enum CasOutcome {
         /// The value actually observed in the word.
         actual: u64,
     },
+}
+
+/// A page translated once, for batched word operations — the bulk
+/// counterpart of [`AddressSpace::read_word`]/[`AddressSpace::cas_word`],
+/// obtained from [`AddressSpace::with_page`].
+///
+/// Every access through a `PageRef` skips the page-directory walk (and the
+/// TLB) entirely: the translation was paid once for the whole page — TLB
+/// accelerated, like any other access — which is what makes walking a
+/// free-time pointer log by page cheaper than translating every location
+/// individually.
+pub struct PageRef<'a> {
+    page: &'a Page,
+    base: Addr,
+}
+
+impl core::fmt::Debug for PageRef<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PageRef").field("base", &self.base).finish()
+    }
+}
+
+impl PageRef<'_> {
+    /// First byte of the page this reference translates.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU64 {
+        debug_assert_eq!(addr & !(PAGE_SIZE - 1), self.base, "addr off page");
+        debug_assert_eq!(addr % 8, 0, "unaligned word access");
+        &self.page.words[word_index(addr)]
+    }
+
+    /// Reads the 8-byte word at `addr` (acquire ordering). `addr` must be
+    /// 8-byte aligned and on this page.
+    #[inline]
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Writes the 8-byte word at `addr` (release ordering). `addr` must be
+    /// 8-byte aligned and on this page.
+    #[inline]
+    pub fn write_word(&self, addr: Addr, value: u64) {
+        self.word(addr).store(value, Ordering::Release);
+    }
+
+    /// Compare-and-swap on the word at `addr` — the same primitive as
+    /// [`AddressSpace::cas_word`], minus the per-call translation.
+    #[inline]
+    pub fn cas_word(&self, addr: Addr, expected: u64, new: u64) -> CasOutcome {
+        match self
+            .word(addr)
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => CasOutcome::Stored,
+            Err(actual) => CasOutcome::Conflict { actual },
+        }
+    }
 }
 
 /// A sparse simulated 64-bit address space.
@@ -293,57 +364,75 @@ impl AddressSpace {
                 // (`unmap` quarantines), so the pointer is live.
                 return Some(unsafe { &*slot.ptr });
             }
-            self.flush_pending_hits(tlb);
-            self.tlb_misses.fetch_add(1, Ordering::Relaxed);
-            let page = self.lookup_page(addr)?;
-            // Negative results are never cached: a later `map` must be
-            // visible immediately. `stamp` was read before the walk, so a
-            // racing unmap at worst stores an entry that can no longer
-            // match.
-            tlb.slots[idx].set(TlbSlot {
-                stamp,
-                page: page_no,
-                ptr: page as *const Page,
-            });
-            Some(page)
+            self.tlb_fill(tlb, addr, page_no, idx, stamp)
         })
     }
 
-    /// Records one TLB hit, batching per thread to keep a shared
-    /// `fetch_add` off the fast path. Counts pending for a *different*
-    /// stamp (another space, or this space before an unmap) are dropped
-    /// rather than flushed — that space may already be gone, and the loss
-    /// is bounded and deterministic.
-    #[inline]
+    /// The TLB miss path: flush the hit batch, count the miss, walk the
+    /// radix tree, and (on success) install the translation. Out of line
+    /// so the hit path above compiles to a compare and a countdown.
+    #[cold]
+    fn tlb_fill(
+        &self,
+        tlb: &ThreadTlb,
+        addr: Addr,
+        page_no: u64,
+        idx: usize,
+        stamp: u64,
+    ) -> Option<&Page> {
+        self.flush_pending_hits(tlb);
+        tlb.batch_owner.set(stamp);
+        self.tlb_misses.fetch_add(1, Ordering::Relaxed);
+        let page = self.lookup_page(addr)?;
+        // Negative results are never cached: a later `map` must be
+        // visible immediately. `stamp` was read before the walk, so a
+        // racing unmap at worst stores an entry that can no longer
+        // match.
+        tlb.slots[idx].set(TlbSlot {
+            stamp,
+            page: page_no,
+            ptr: page as *const Page,
+        });
+        Some(page)
+    }
+
+    /// Records one TLB hit: decrement the countdown, and on every
+    /// `HIT_FLUSH_EVERY`th hit credit the whole batch — if this space
+    /// still owns it. A batch spanning accesses to several spaces (or an
+    /// `unmap` on this one) is dropped rather than split: the owner may
+    /// already be gone, and the loss is bounded by one batch per
+    /// interleaving.
+    #[inline(always)]
     fn note_tlb_hit(&self, tlb: &ThreadTlb, stamp: u64) {
-        if tlb.pending_stamp.get() != stamp {
-            tlb.pending_stamp.set(stamp);
-            tlb.pending_hits.set(0);
-        }
-        let n = tlb.pending_hits.get() + 1;
-        if n >= HIT_FLUSH_EVERY {
-            self.tlb_hits.fetch_add(n, Ordering::Relaxed);
-            tlb.pending_hits.set(0);
+        let left = tlb.hits_left.get() - 1;
+        if left == 0 {
+            if tlb.batch_owner.get() == stamp {
+                self.tlb_hits.fetch_add(HIT_FLUSH_EVERY, Ordering::Relaxed);
+            }
+            tlb.hits_left.set(HIT_FLUSH_EVERY);
         } else {
-            tlb.pending_hits.set(n);
+            tlb.hits_left.set(left);
         }
     }
 
     fn flush_pending_hits(&self, tlb: &ThreadTlb) {
-        if tlb.pending_stamp.get() == self.tlb_stamp.load(Ordering::Acquire) {
-            let n = tlb.pending_hits.get();
-            if n > 0 {
+        let n = HIT_FLUSH_EVERY - tlb.hits_left.get();
+        if n > 0 {
+            if tlb.batch_owner.get() == self.tlb_stamp.load(Ordering::Acquire) {
                 self.tlb_hits.fetch_add(n, Ordering::Relaxed);
-                tlb.pending_hits.set(0);
             }
+            tlb.hits_left.set(HIT_FLUSH_EVERY);
         }
     }
 
     /// Software-TLB hit/miss counters for this space.
     ///
     /// The calling thread's pending hit batch is flushed first, so after a
-    /// single-threaded workload the numbers are exact; with concurrent
-    /// threads, up to one unflushed batch per other thread may be missing.
+    /// single-threaded, single-space workload the numbers are exact; with
+    /// concurrent threads, up to one unflushed batch per other thread may
+    /// be missing, and a batch whose hits straddle several spaces is
+    /// credited entirely to the space that started it (the one that last
+    /// missed on that thread).
     pub fn tlb_stats(&self) -> TlbStats {
         TLB.with(|tlb| self.flush_pending_hits(tlb));
         TlbStats {
@@ -518,25 +607,111 @@ impl AddressSpace {
         }
     }
 
+    /// Translates the page containing `addr` once and returns a
+    /// [`PageRef`] for batched word operations on it, or the fault that a
+    /// word access at `addr` would raise ([`FaultKind::NonCanonical`] or
+    /// [`FaultKind::Unmapped`] — alignment is per word, checked by the
+    /// `PageRef` accessors).
+    ///
+    /// The translation deliberately bypasses the software TLB in both
+    /// directions: batched callers amortise one radix walk over a whole
+    /// page of words, so a per-batch TLB probe would add nothing, and
+    /// keeping it out of the counters means TLB hit rates keep describing
+    /// the per-word paths in every cache configuration.
+    #[inline]
+    pub fn with_page(&self, addr: Addr) -> Result<PageRef<'_>, MemFault> {
+        if !is_canonical_user(addr) {
+            return Err(MemFault {
+                kind: FaultKind::NonCanonical,
+                addr,
+            });
+        }
+        match self.lookup_page_fast(addr) {
+            Some(page) => Ok(PageRef {
+                page,
+                base: addr & !(PAGE_SIZE - 1),
+            }),
+            None => Err(MemFault {
+                kind: FaultKind::Unmapped,
+                addr,
+            }),
+        }
+    }
+
+    /// Bulk compare-and-swap: applies every `(addr, expected, new)` op in
+    /// order, resolving the shared page once. All ops must lie on the page
+    /// containing the first op's address. Returns how many ops `Stored`
+    /// and how many hit a `Conflict`; faults if the page does not
+    /// translate (no op is applied in that case).
+    pub fn cas_words_on_page(&self, ops: &[(Addr, u64, u64)]) -> Result<(u64, u64), MemFault> {
+        let Some(&(first, _, _)) = ops.first() else {
+            return Ok((0, 0));
+        };
+        let page = self.with_page(first)?;
+        let (mut stored, mut conflicts) = (0, 0);
+        for &(addr, expected, new) in ops {
+            match page.cas_word(addr, expected, new) {
+                CasOutcome::Stored => stored += 1,
+                CasOutcome::Conflict { .. } => conflicts += 1,
+            }
+        }
+        Ok((stored, conflicts))
+    }
+
     /// Copies `len` bytes from `src` to `dst` word-wise, used by the
     /// allocator's `realloc` move path (the simulated `memcpy`).
     ///
     /// The ranges must both be 8-byte aligned; `len` is rounded up to a
     /// multiple of 8. Copying is not atomic as a whole, matching `memcpy`.
+    /// Pages are translated once per page crossed, not once per word.
     pub fn copy(&self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
         let words = len.div_ceil(8);
-        for i in 0..words {
-            let v = self.read_word(src + i * 8)?;
-            self.write_word(dst + i * 8, v)?;
+        if words > 0 {
+            for a in [src, dst] {
+                if a % 8 != 0 {
+                    return Err(MemFault {
+                        kind: FaultKind::Unaligned,
+                        addr: a,
+                    });
+                }
+            }
+        }
+        let mut i = 0u64;
+        while i < words {
+            let (s, d) = (src + i * 8, dst + i * 8);
+            let sp = self.with_page(s)?;
+            let dp = self.with_page(d)?;
+            // Copy to the nearer of the two page ends, then re-translate.
+            let span = (words - i)
+                .min((sp.base() + PAGE_SIZE - s) / 8)
+                .min((dp.base() + PAGE_SIZE - d) / 8);
+            for w in 0..span {
+                dp.write_word(d + w * 8, sp.read_word(s + w * 8));
+            }
+            i += span;
         }
         Ok(())
     }
 
-    /// Zeroes `len` bytes starting at the 8-byte-aligned `addr`.
+    /// Zeroes `len` bytes starting at the 8-byte-aligned `addr`, one page
+    /// translation per page crossed.
     pub fn zero(&self, addr: Addr, len: u64) -> Result<(), MemFault> {
         let words = len.div_ceil(8);
-        for i in 0..words {
-            self.write_word(addr + i * 8, 0)?;
+        if words > 0 && addr % 8 != 0 {
+            return Err(MemFault {
+                kind: FaultKind::Unaligned,
+                addr,
+            });
+        }
+        let mut i = 0u64;
+        while i < words {
+            let a = addr + i * 8;
+            let page = self.with_page(a)?;
+            let span = (words - i).min((page.base() + PAGE_SIZE - a) / 8);
+            for w in 0..span {
+                page.write_word(a + w * 8, 0);
+            }
+            i += span;
         }
         Ok(())
     }
@@ -866,6 +1041,101 @@ mod tests {
             assert_eq!(mem.read_word(HEAP_BASE).unwrap(), i);
             assert_eq!(mem.read_word(far).unwrap(), i + 1_000_000);
         }
+    }
+
+    #[test]
+    fn with_page_faults_mirror_word_faults() {
+        let mem = AddressSpace::new();
+        assert_eq!(
+            mem.with_page(HEAP_BASE).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let dangling = HEAP_BASE | INVALID_BIT;
+        let err = mem.with_page(dangling).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NonCanonical);
+        assert_eq!(err.original_addr(), HEAP_BASE);
+    }
+
+    #[test]
+    fn page_ref_word_ops_match_per_word_api() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let p = mem.with_page(HEAP_BASE + 24).unwrap();
+        assert_eq!(p.base(), HEAP_BASE);
+        p.write_word(HEAP_BASE + 24, 77);
+        assert_eq!(p.read_word(HEAP_BASE + 24), 77);
+        assert_eq!(mem.read_word(HEAP_BASE + 24).unwrap(), 77);
+        assert_eq!(p.cas_word(HEAP_BASE + 24, 77, 78), CasOutcome::Stored);
+        assert_eq!(
+            p.cas_word(HEAP_BASE + 24, 77, 79),
+            CasOutcome::Conflict { actual: 78 }
+        );
+        // Writes through the per-word API are visible through the ref and
+        // vice versa — it is the same page.
+        mem.write_word(HEAP_BASE + 24, 80).unwrap();
+        assert_eq!(p.read_word(HEAP_BASE + 24), 80);
+    }
+
+    #[test]
+    fn cas_words_on_page_counts_outcomes() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        for i in 0..4u64 {
+            mem.write_word(HEAP_BASE + i * 8, i).unwrap();
+        }
+        let ops: Vec<(Addr, u64, u64)> = (0..4u64)
+            .map(|i| (HEAP_BASE + i * 8, if i == 2 { 99 } else { i }, i + 100))
+            .collect();
+        assert_eq!(mem.cas_words_on_page(&ops).unwrap(), (3, 1));
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 100);
+        assert_eq!(mem.read_word(HEAP_BASE + 16).unwrap(), 2); // conflict kept
+        assert_eq!(mem.cas_words_on_page(&[]).unwrap(), (0, 0));
+        assert_eq!(
+            mem.cas_words_on_page(&[(HEAP_BASE + PAGE_SIZE, 0, 1)])
+                .unwrap_err()
+                .kind,
+            FaultKind::Unmapped
+        );
+    }
+
+    #[test]
+    fn zero_and_copy_span_pages() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, 4 * PAGE_SIZE).unwrap();
+        for i in 0..(3 * PAGE_SIZE / 8) {
+            mem.write_word(HEAP_BASE + i * 8, i + 1).unwrap();
+        }
+        // Zero an unaligned-to-page span crossing two page boundaries.
+        mem.zero(HEAP_BASE + 16, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mem.read_word(HEAP_BASE + 8).unwrap(), 2);
+        assert_eq!(mem.read_word(HEAP_BASE + 16).unwrap(), 0);
+        assert_eq!(mem.read_word(HEAP_BASE + 2 * PAGE_SIZE + 8).unwrap(), 0);
+        assert_eq!(
+            mem.read_word(HEAP_BASE + 2 * PAGE_SIZE + 16).unwrap(),
+            2 * PAGE_SIZE / 8 + 3
+        );
+        // Copy where src and dst sit at different page offsets, so the
+        // batched chunks end at different boundaries for each side.
+        for i in 0..(PAGE_SIZE / 8) {
+            mem.write_word(HEAP_BASE + i * 8, i + 500).unwrap();
+        }
+        mem.copy(HEAP_BASE + 8, HEAP_BASE + 3 * PAGE_SIZE - 256, PAGE_SIZE - 8)
+            .unwrap();
+        for i in 0..((PAGE_SIZE - 8) / 8) {
+            assert_eq!(
+                mem.read_word(HEAP_BASE + 3 * PAGE_SIZE - 256 + i * 8).unwrap(),
+                i + 501
+            );
+        }
+        // Faults carry the first failing address, as before batching.
+        let err = mem.zero(HEAP_BASE + 3 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.addr, HEAP_BASE + 4 * PAGE_SIZE);
+        assert_eq!(
+            mem.zero(HEAP_BASE + 1, 8).unwrap_err().kind,
+            FaultKind::Unaligned
+        );
     }
 
     #[test]

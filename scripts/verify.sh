@@ -4,9 +4,12 @@
 #
 # Usage: scripts/verify.sh
 #
-# Fails if the tier-1 suite fails, or if the registerptr cache speedup
-# (caches-on / caches-off within the same run, so machine-load noise
-# cancels) regresses more than 20% below the committed baseline's.
+# Fails if the tier-1 suite fails, if the committed baseline itself shows
+# any of the four core benches below 1.0x (a sub-1.0 baseline must never
+# be locked in — it means the caches are a net loss on that path), or if
+# the current quick run's cache speedup (caches-on / caches-off within
+# the same run, so machine-load noise cancels) regresses more than 20%
+# below the committed baseline's on any bench.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,7 +44,32 @@ speedup_of() {
 }
 
 status=0
+
+# Gate 1 — the committed baseline must show every core bench at >= 1.0x:
+# the caches must be a net win (or at worst a wash) on every path they
+# touch before a baseline may be locked in. (The free_* benches measure
+# the whole free-path rework and are gated relatively below.)
 for bench in registerptr ptr2obj malloc_free invalidate; do
+    base=$(speedup_of "$baseline" "$bench")
+    if [[ -z "$base" ]]; then
+        echo "verify: could not parse $bench speedup from $baseline" >&2
+        exit 1
+    fi
+    awk -v bench="$bench" -v base="$base" 'BEGIN {
+        if (base < 1.0) {
+            printf "verify: FAIL — committed baseline locks in a sub-1.0 %s speedup (%.2f)\n", bench, base
+            exit 1
+        }
+        printf "verify: %-15s baseline OK — committed speedup %.2f >= 1.0\n", bench, base
+    }' || status=1
+done
+
+# Gate 2 — the current quick run must stay within 20% of the committed
+# baseline's speedup on every bench (same-run on/off ratios, so machine
+# noise largely cancels; quick mode is still too noisy for an absolute
+# gate here — gate 1 holds the absolute line on the committed numbers).
+for bench in registerptr ptr2obj malloc_free invalidate \
+             free_many_ptrs free_many_objs free_while_reg; do
     base=$(speedup_of "$baseline" "$bench")
     now=$(speedup_of "$tmp_json" "$bench")
     if [[ -z "$base" || -z "$now" ]]; then
@@ -54,7 +82,7 @@ for bench in registerptr ptr2obj malloc_free invalidate; do
             printf "verify: FAIL — %s cache speedup regressed >20%% (%.2f < floor %.2f, baseline %.2f)\n", bench, now, floor, base
             exit 1
         }
-        printf "verify: %-12s OK — speedup %.2f within 20%% of baseline %.2f\n", bench, now, base
+        printf "verify: %-15s OK — speedup %.2f within 20%% of baseline %.2f\n", bench, now, base
     }' || status=1
 done
 [[ $status -eq 0 ]] || exit 1

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-dfdc7784ec4122af.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-dfdc7784ec4122af: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_rates-07291dc455b1f856.d: crates/bench/src/bin/cache_rates.rs
+
+/root/repo/target/debug/deps/cache_rates-07291dc455b1f856: crates/bench/src/bin/cache_rates.rs
+
+crates/bench/src/bin/cache_rates.rs:

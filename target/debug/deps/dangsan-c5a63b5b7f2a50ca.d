@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dangsan-c5a63b5b7f2a50ca.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/dangsan-c5a63b5b7f2a50ca: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compress.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/hooked.rs crates/core/src/log.rs crates/core/src/object.rs crates/core/src/pool.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/compress.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/hooked.rs:
+crates/core/src/log.rs:
+crates/core/src/object.rs:
+crates/core/src/pool.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dangsan_baselines-b1076c0a6ba2441c.d: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+/root/repo/target/debug/deps/dangsan_baselines-b1076c0a6ba2441c: crates/baselines/src/lib.rs crates/baselines/src/dangnull.rs crates/baselines/src/freesentry.rs crates/baselines/src/locked.rs crates/baselines/src/quarantine.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dangnull.rs:
+crates/baselines/src/freesentry.rs:
+crates/baselines/src/locked.rs:
+crates/baselines/src/quarantine.rs:

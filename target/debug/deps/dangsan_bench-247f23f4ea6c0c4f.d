@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dangsan_bench-247f23f4ea6c0c4f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdangsan_bench-247f23f4ea6c0c4f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdangsan_bench-247f23f4ea6c0c4f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/ir_suite.rs:
+crates/bench/src/report.rs:

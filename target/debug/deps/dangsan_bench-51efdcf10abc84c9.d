@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dangsan_bench-51efdcf10abc84c9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/dangsan_bench-51efdcf10abc84c9: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/ir_suite.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/ir_suite.rs:
+crates/bench/src/report.rs:

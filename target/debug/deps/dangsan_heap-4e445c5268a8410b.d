@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dangsan_heap-4e445c5268a8410b.d: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+/root/repo/target/debug/deps/dangsan_heap-4e445c5268a8410b: crates/heap/src/lib.rs crates/heap/src/heap.rs crates/heap/src/size_classes.rs crates/heap/src/span.rs crates/heap/src/thread_cache.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/size_classes.rs:
+crates/heap/src/span.rs:
+crates/heap/src/thread_cache.rs:

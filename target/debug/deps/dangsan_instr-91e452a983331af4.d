@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dangsan_instr-91e452a983331af4.d: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+/root/repo/target/debug/deps/dangsan_instr-91e452a983331af4: crates/instr/src/lib.rs crates/instr/src/analysis.rs crates/instr/src/builder.rs crates/instr/src/instrument.rs crates/instr/src/interp.rs crates/instr/src/ir.rs crates/instr/src/text.rs
+
+crates/instr/src/lib.rs:
+crates/instr/src/analysis.rs:
+crates/instr/src/builder.rs:
+crates/instr/src/instrument.rs:
+crates/instr/src/interp.rs:
+crates/instr/src/ir.rs:
+crates/instr/src/text.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dangsan_shadow-64afb4aa2116a732.d: crates/shadow/src/lib.rs
+
+/root/repo/target/debug/deps/dangsan_shadow-64afb4aa2116a732: crates/shadow/src/lib.rs
+
+crates/shadow/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dangsan_vmem-89336da53b7400b6.d: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+/root/repo/target/debug/deps/dangsan_vmem-89336da53b7400b6: crates/vmem/src/lib.rs crates/vmem/src/bump.rs crates/vmem/src/layout.rs crates/vmem/src/rng.rs crates/vmem/src/space.rs
+
+crates/vmem/src/lib.rs:
+crates/vmem/src/bump.rs:
+crates/vmem/src/layout.rs:
+crates/vmem/src/rng.rs:
+crates/vmem/src/space.rs:

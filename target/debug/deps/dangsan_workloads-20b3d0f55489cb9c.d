@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dangsan_workloads-20b3d0f55489cb9c.d: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/dangsan_workloads-20b3d0f55489cb9c: crates/workloads/src/lib.rs crates/workloads/src/cost.rs crates/workloads/src/env.rs crates/workloads/src/exploits.rs crates/workloads/src/parsec.rs crates/workloads/src/profiles.rs crates/workloads/src/server.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cost.rs:
+crates/workloads/src/env.rs:
+crates/workloads/src/exploits.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/server.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsir-06b56fddb16f3b43.d: crates/instr/src/bin/dsir.rs
+
+/root/repo/target/debug/deps/dsir-06b56fddb16f3b43: crates/instr/src/bin/dsir.rs
+
+crates/instr/src/bin/dsir.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsir-788c253816e4affb.d: crates/instr/src/bin/dsir.rs
+
+/root/repo/target/debug/deps/dsir-788c253816e4affb: crates/instr/src/bin/dsir.rs
+
+crates/instr/src/bin/dsir.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-a8599c054de4736e.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/effectiveness-a8599c054de4736e: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-fe1db1d898926cfc.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-fe1db1d898926cfc: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a74bd4eba6730b02.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a74bd4eba6730b02: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-9a486fa962c491a1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-9a486fa962c491a1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-816939e48757d530.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-816939e48757d530: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

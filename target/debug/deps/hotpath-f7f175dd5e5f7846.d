@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-f7f175dd5e5f7846.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-f7f175dd5e5f7846: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measure_store-b14f148eb4e98f93.d: crates/bench/src/bin/measure_store.rs
+
+/root/repo/target/debug/deps/measure_store-b14f148eb4e98f93: crates/bench/src/bin/measure_store.rs
+
+crates/bench/src/bin/measure_store.rs:

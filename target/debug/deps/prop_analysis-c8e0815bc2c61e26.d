@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analysis-c8e0815bc2c61e26.d: crates/instr/tests/prop_analysis.rs
+
+/root/repo/target/debug/deps/prop_analysis-c8e0815bc2c61e26: crates/instr/tests/prop_analysis.rs
+
+crates/instr/tests/prop_analysis.rs:

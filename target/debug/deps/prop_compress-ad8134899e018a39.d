@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_compress-ad8134899e018a39.d: crates/core/tests/prop_compress.rs
+
+/root/repo/target/debug/deps/prop_compress-ad8134899e018a39: crates/core/tests/prop_compress.rs
+
+crates/core/tests/prop_compress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_detector-f447bd8a387a6994.d: crates/core/tests/prop_detector.rs
+
+/root/repo/target/debug/deps/prop_detector-f447bd8a387a6994: crates/core/tests/prop_detector.rs
+
+crates/core/tests/prop_detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-88c618f083a734d5.d: crates/instr/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-88c618f083a734d5: crates/instr/tests/prop_equivalence.rs
+
+crates/instr/tests/prop_equivalence.rs:

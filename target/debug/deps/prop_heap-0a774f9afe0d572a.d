@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_heap-0a774f9afe0d572a.d: crates/heap/tests/prop_heap.rs
+
+/root/repo/target/debug/deps/prop_heap-0a774f9afe0d572a: crates/heap/tests/prop_heap.rs
+
+crates/heap/tests/prop_heap.rs:

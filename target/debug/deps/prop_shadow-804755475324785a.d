@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_shadow-804755475324785a.d: crates/shadow/tests/prop_shadow.rs
+
+/root/repo/target/debug/deps/prop_shadow-804755475324785a: crates/shadow/tests/prop_shadow.rs
+
+crates/shadow/tests/prop_shadow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_space-0b9194f62ae985da.d: crates/vmem/tests/prop_space.rs
+
+/root/repo/target/debug/deps/prop_space-0b9194f62ae985da: crates/vmem/tests/prop_space.rs
+
+crates/vmem/tests/prop_space.rs:

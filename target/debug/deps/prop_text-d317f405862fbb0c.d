@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_text-d317f405862fbb0c.d: crates/instr/tests/prop_text.rs
+
+/root/repo/target/debug/deps/prop_text-d317f405862fbb0c: crates/instr/tests/prop_text.rs
+
+crates/instr/tests/prop_text.rs:

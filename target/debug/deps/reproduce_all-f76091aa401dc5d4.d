@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-f76091aa401dc5d4.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-f76091aa401dc5d4: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

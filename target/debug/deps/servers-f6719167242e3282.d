@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/servers-f6719167242e3282.d: crates/bench/src/bin/servers.rs
+
+/root/repo/target/debug/deps/servers-f6719167242e3282: crates/bench/src/bin/servers.rs
+
+crates/bench/src/bin/servers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3ef6da0a37472e72.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3ef6da0a37472e72: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
