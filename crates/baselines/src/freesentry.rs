@@ -59,6 +59,7 @@ pub struct FreeSentry {
 impl FreeSentry {
     /// Creates a detector over `mem`, resolving pointees through `heap`'s
     /// span registry (the stand-in for FreeSentry's label memory).
+    #[allow(clippy::arc_with_non_send_sync)] // single-threaded baseline, Arc only for API parity
     pub fn new(mem: Arc<AddressSpace>, heap: Arc<Heap>) -> Arc<FreeSentry> {
         Arc::new(FreeSentry {
             mem,

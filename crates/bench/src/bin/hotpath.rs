@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dangsan::{Config, DangSan, Detector};
+use dangsan::{Config, DangSan, Detector, TraceLevel};
 use dangsan_bench::report::Json;
 use dangsan_heap::Heap;
 use dangsan_shadow::MetaPageTable;
@@ -78,6 +78,42 @@ fn free_env(opt: bool) -> (Arc<AddressSpace>, Arc<Heap>, Arc<DangSan>) {
     );
     mem.set_tlb_enabled(opt);
     (mem, heap, det)
+}
+
+/// `trace_off`: the flight recorder's Off-mode overhead, measured as a
+/// same-run ratio so the 2%-budget gate survives machine noise that
+/// cross-run absolute comparisons do not. The "off" side runs a
+/// malloc/register/free lifecycle loop with `trace_level=Lifecycles`
+/// (every lifecycle records birth, free and epoch events into a ring);
+/// the "on" side runs the identical loop with `trace_level=Off`, where
+/// each record site is one relaxed load and an untaken branch. The
+/// speedup column is therefore Off-throughput / traced-throughput: below
+/// ~1.0 means disabling tracing failed to remove its cost.
+fn bench_trace_off(rounds: u64, untraced: bool) -> Measurement {
+    let level = if untraced {
+        TraceLevel::Off
+    } else {
+        TraceLevel::Lifecycles
+    };
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), Config::default().with_trace_level(level));
+    let holder = heap.malloc(8).expect("holder");
+    det.on_alloc(&holder);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let obj = heap.malloc(64).expect("obj");
+        det.on_alloc(&obj);
+        mem.write_word(holder.base, obj.base).expect("store");
+        det.register_ptr(holder.base, obj.base);
+        det.on_free(obj.base);
+        heap.free(obj.base).expect("free");
+    }
+    let t = start.elapsed().as_secs_f64();
+    Measurement {
+        ops_per_sec: rounds as f64 / t,
+        ops: rounds,
+    }
 }
 
 /// `registerptr` repeated-store: the pattern the caches target — a loop
@@ -314,7 +350,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
 
     let (reps, scale) = if quick { (3, 1u64) } else { (7, 8u64) };
-    let benches: [(&str, fn(u64, bool) -> Measurement, u64); 7] = [
+    let benches: [(&str, fn(u64, bool) -> Measurement, u64); 8] = [
         ("registerptr", bench_registerptr, 400_000 * scale),
         ("ptr2obj", bench_ptr2obj, 800_000 * scale),
         ("malloc_free", bench_malloc_free, 20_000 * scale),
@@ -322,6 +358,7 @@ fn main() {
         ("free_many_ptrs", bench_free_many_ptrs, 200 * scale),
         ("free_many_objs", bench_free_many_objs, 2_000 * scale),
         ("free_while_reg", bench_free_while_registering, 5_000 * scale),
+        ("trace_off", bench_trace_off, 20_000 * scale),
     ];
 
     let mut doc = Json::obj();

@@ -4,6 +4,8 @@
 //! runtime-tunable so the ablation benchmarks (`dangsan-bench`, bin
 //! `ablations`) can sweep them without rebuilding.
 
+use dangsan_trace::TraceLevel;
+
 /// Entries embedded directly in each per-thread log (Figure 7's static log).
 pub const EMBEDDED_ENTRIES: usize = 8;
 
@@ -41,6 +43,13 @@ pub struct Config {
     /// location set, so reports and counters are identical; the knob
     /// isolates the translation batching for the ablation benchmarks.
     pub page_batched_free: bool,
+    /// Flight-recorder capture level. `Off` (the default) costs one
+    /// relaxed load + branch at each record site — and the registration
+    /// fast path has no record sites at all. `Lifecycles` captures what
+    /// UAF forensics needs; `Full` adds sweep spans, tier promotions and
+    /// shadow/heap events. [`crate::DangSan::new`] creates and attaches a
+    /// tracer when this is not `Off` (see [`crate::DangSan::tracer`]).
+    pub trace_level: TraceLevel,
 }
 
 impl Default for Config {
@@ -54,6 +63,7 @@ impl Default for Config {
             hook_memcpy: false,
             hot_path_caches: true,
             page_batched_free: true,
+            trace_level: TraceLevel::Off,
         }
     }
 }
@@ -99,6 +109,12 @@ impl Config {
         self.page_batched_free = on;
         self
     }
+
+    /// Returns a copy with a different flight-recorder capture level.
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +128,7 @@ mod tests {
         assert!(c.compression);
         assert!(c.hash_fallback);
         assert!(!c.hook_memcpy, "the paper did not implement the hook");
+        assert_eq!(c.trace_level, TraceLevel::Off, "tracing is an opt-in");
     }
 
     #[test]

@@ -7,6 +7,9 @@ use std::sync::Arc;
 
 use dangsan_heap::Allocation;
 use dangsan_shadow::MetaPageTable;
+use dangsan_trace::{
+    forensics, pack_size_site, pack_sweep, EventCode, Trace, TraceLevel, Tracer,
+};
 use dangsan_vmem::{
     Addr, AddressSpace, CasOutcome, FaultKind, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE,
 };
@@ -18,17 +21,13 @@ use crate::object::{fresh_epoch, ObjectMeta};
 use crate::pool::{Pool, ScratchPool};
 use crate::stats::{Hot, Stats, StatsSnapshot};
 
-/// Returns this thread's stable small integer id.
+/// This thread's stable small integer id.
 ///
 /// The paper's per-thread logs are keyed by thread; a monotonically
 /// assigned id keeps the log list comparison a single integer compare.
-pub fn current_thread_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    thread_local! {
-        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
-    }
-    TID.with(|t| *t)
-}
+/// Lives in `dangsan-trace` (re-exported here unchanged) so flight
+/// recorder events and detector logs agree on thread identity.
+pub use dangsan_trace::current_thread_id;
 
 /// Entries in the per-thread last-object → log cache (power of two).
 ///
@@ -212,6 +211,10 @@ pub struct DangSan {
     /// lifetime via [`ObjectMeta::epoch`]; nothing detector-global is
     /// touched on free.
     id: u64,
+    /// The detector's flight-recorder attach point. Holds the level and
+    /// (once attached) the tracer; with `Config::trace_level` at `Off`
+    /// every record site is a relaxed load + untaken branch.
+    trace: Trace,
 }
 
 impl DangSan {
@@ -219,6 +222,16 @@ impl DangSan {
     pub fn new(mem: Arc<AddressSpace>, cfg: Config) -> Arc<DangSan> {
         let map = MetaPageTable::new();
         map.set_cache_enabled(cfg.hot_path_caches);
+        let trace = Trace::new();
+        if cfg.trace_level != TraceLevel::Off {
+            // One tracer spans the stack: detector, shadow mapper and
+            // address space all feed the same per-thread rings, so a
+            // forensics pass sees vmem traps next to frees.
+            let tracer = Arc::new(Tracer::new(cfg.trace_level));
+            trace.attach(&tracer);
+            map.set_tracer(&tracer);
+            mem.set_tracer(&tracer);
+        }
         Arc::new(DangSan {
             mem,
             map,
@@ -229,7 +242,24 @@ impl DangSan {
             extra_bytes: AtomicU64::new(0),
             scratch: ScratchPool::new(),
             id: fresh_detector_id(),
+            trace,
         })
+    }
+
+    /// The flight recorder created by [`DangSan::new`], when
+    /// `Config::trace_level` is not `Off`. Hand it to
+    /// [`dangsan_heap::Heap::set_tracer`] to fold carve events into the
+    /// same rings, or to [`dangsan_trace::forensics::uaf_report`].
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.trace.tracer()
+    }
+
+    /// Attributes a non-canonical trap (a [`FaultKind::NonCanonical`]
+    /// dereference of an invalidated pointer) to the free that produced
+    /// it, using the recorded event history. `None` when tracing is off
+    /// or no recorded free covers the address.
+    pub fn uaf_report(&self, fault_addr: u64) -> Option<forensics::UafReport> {
+        forensics::uaf_report(self.trace.tracer()?, fault_addr)
     }
 
     /// The active configuration.
@@ -399,7 +429,7 @@ impl DangSan {
                 });
                 (log as &ThreadLog, meta_val, epoch)
             };
-            log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
+            log.append(loc, &self.cfg, &self.stats, &self.extra_bytes, &self.trace, epoch);
             if log.hash_active() {
                 // `loc` is now a member of the log's hash set, and members
                 // are never removed while the object lives: memoize the
@@ -476,6 +506,17 @@ impl Detector for DangSan {
         self.map
             .set_object(alloc.base, alloc.stride, meta.as_meta_value());
         Stats::bump(&self.stats.objects_allocated);
+        if self.trace.enabled(TraceLevel::Lifecycles) {
+            // The object's id *is* its epoch: globally never reused, so a
+            // forensics pass can tell apart lifetimes sharing a base.
+            self.trace.record(
+                TraceLevel::Lifecycles,
+                EventCode::ObjectAlloc,
+                alloc.base,
+                meta.epoch.load(Ordering::Relaxed),
+                pack_size_site(alloc.requested, dangsan_trace::alloc_site()),
+            );
+        }
     }
 
     fn on_free(&self, base: Addr) -> InvalidationReport {
@@ -488,7 +529,12 @@ impl Detector for DangSan {
         // — on any thread, in any layer — stops matching from here on.
         // Slots naming *other* objects are untouched, which is the whole
         // point: a free costs only the object being freed.
-        meta.epoch.store(fresh_epoch(), Ordering::Release);
+        let obj_id = meta.epoch.load(Ordering::Acquire);
+        let new_epoch = fresh_epoch();
+        meta.epoch.store(new_epoch, Ordering::Release);
+        self.trace
+            .record(TraceLevel::Full, EventCode::EpochRetire, obj_id, new_epoch, 0);
+        let sweep = self.trace.span_start(TraceLevel::Full);
         // Drain every tier of every thread's log into one pooled scratch
         // buffer (no host allocation in steady state)...
         let mut locs = self.scratch.take();
@@ -573,11 +619,13 @@ impl Detector for DangSan {
             (Hot::FreePagesTouched, pages),
             (Hot::free_hist_bucket(walked), 1),
         ]);
+        self.trace
+            .span_end(sweep, EventCode::FreeSweep, obj_id, pack_sweep(walked, pages));
         self.scratch.recycle(locs);
         // Tear down: clear the shadow mapping, then recycle logs and meta.
         let covered = meta.covered.load(Ordering::Acquire);
-        self.map
-            .clear_object(meta.base.load(Ordering::Acquire), covered);
+        let obj_base = meta.base.load(Ordering::Acquire);
+        self.map.clear_object(obj_base, covered);
         let mut cur = meta.head.swap(ptr::null_mut(), Ordering::AcqRel);
         while !cur.is_null() {
             // SAFETY: as above.
@@ -589,6 +637,13 @@ impl Detector for DangSan {
         }
         self.meta_pool.recycle(meta);
         Stats::bump(&self.stats.objects_freed);
+        self.trace.record(
+            TraceLevel::Lifecycles,
+            EventCode::ObjectFree,
+            obj_base,
+            obj_id,
+            report.invalidated,
+        );
         report
     }
 
@@ -611,7 +666,8 @@ impl Detector for DangSan {
         };
         self.stats.bump_hot(Hot::PtrsRegistered);
         let log = self.find_or_create_log(meta);
-        log.append(loc, &self.cfg, &self.stats, &self.extra_bytes);
+        let epoch = meta.epoch.load(Ordering::Relaxed);
+        log.append(loc, &self.cfg, &self.stats, &self.extra_bytes, &self.trace, epoch);
     }
 
     fn on_memcpy(&self, dst: Addr, len: u64) {
@@ -630,7 +686,7 @@ impl Detector for DangSan {
         // a misaligned word cannot hold an aligned heap pointer the
         // detector would ever track, and the per-word path would fault on
         // every read anyway.
-        if dst % 8 != 0 {
+        if !dst.is_multiple_of(8) {
             return;
         }
         let words = len / 8;

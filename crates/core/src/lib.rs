@@ -77,5 +77,12 @@ pub use detector::{current_thread_id, DangSan};
 pub use hooked::{HookedHeap, HookedThread};
 pub use stats::{Hot, Stats, StatsSnapshot};
 
+// The flight recorder (`dangsan-trace`) re-exported at the top level:
+// `Config::trace_level` takes a `TraceLevel`, `DangSan::tracer` hands back
+// a `Tracer`, and forensics works off either.
+pub use dangsan_trace::{
+    forensics, set_alloc_site, Event, EventCode, TraceLevel, Tracer, UafReport,
+};
+
 /// A shareable, thread-safe detector handle.
 pub type SharedDetector = std::sync::Arc<dyn Detector + Send + Sync>;

@@ -28,12 +28,25 @@
 use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::ptr;
 
+use dangsan_trace::{EventCode, Trace, TraceLevel};
 use dangsan_vmem::Addr;
 
 use crate::compress::{self, Fold};
 use crate::config::{Config, EMBEDDED_ENTRIES};
 use crate::pool::PoolItem;
 use crate::stats::{Hot, Stats};
+
+/// `b` payload of a [`EventCode::TierPromote`] event: a fresh indirect
+/// block replaced the embedded array (tier 1 → 2).
+pub const TIER_INDIRECT: u64 = 1;
+/// Tier promotion payload: a fresh hash table replaced the indirect
+/// block (tier 2 → 3).
+pub const TIER_HASH: u64 = 2;
+/// Tier promotion payload: the no-hash ablation chained a doubled
+/// indirect block instead.
+pub const TIER_INDIRECT_CHAIN: u64 = 3;
+/// Tier promotion payload: an existing hash table doubled.
+pub const TIER_HASH_GROW: u64 = 4;
 
 /// Outcome of an append, used for statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,19 +176,23 @@ impl ThreadLog {
     /// policy from `cfg`. Must only be called by the owning thread.
     ///
     /// `extra_bytes` is credited with any host allocation performed
-    /// (indirect blocks, hash tables).
+    /// (indirect blocks, hash tables). `trace`/`obj_id` let tier
+    /// promotions land in the flight recorder; at `TraceLevel::Off` both
+    /// are dead weight the promotion (cold) paths never touch.
     pub fn append(
         &self,
         loc: Addr,
         cfg: &Config,
         stats: &Stats,
         extra_bytes: &AtomicU64,
+        trace: &Trace,
+        obj_id: u64,
     ) -> Appended {
         // Tier 3 active: everything goes through the hash table.
         let hash = self.hash.load(Ordering::Acquire);
         if !hash.is_null() {
             // SAFETY: hash tables are never freed while the detector lives.
-            return self.hash_insert(unsafe { &*hash }, loc, stats, extra_bytes);
+            return self.hash_insert(unsafe { &*hash }, loc, stats, extra_bytes, trace, obj_id);
         }
 
         // Lookback (§4.4): scan the most recent entries for this location.
@@ -202,7 +219,7 @@ impl ThreadLog {
             }
         }
 
-        self.push_plain(loc, cfg, stats, extra_bytes);
+        self.push_plain(loc, cfg, stats, extra_bytes, trace, obj_id);
         Appended::Stored
     }
 
@@ -212,6 +229,8 @@ impl ThreadLog {
         loc: Addr,
         stats: &Stats,
         extra_bytes: &AtomicU64,
+        trace: &Trace,
+        obj_id: u64,
     ) -> Appended {
         loop {
             match table.insert(loc) {
@@ -231,6 +250,13 @@ impl ThreadLog {
                         }
                     }
                     extra_bytes.fetch_add(bigger.bytes(), Ordering::Relaxed);
+                    trace.record(
+                        TraceLevel::Full,
+                        EventCode::TierPromote,
+                        obj_id,
+                        TIER_HASH_GROW,
+                        u64::from(table.cap * 2),
+                    );
                     let raw = Box::into_raw(bigger);
                     // SAFETY: just allocated, uniquely owned until published.
                     unsafe {
@@ -296,7 +322,15 @@ impl ThreadLog {
         false
     }
 
-    fn push_plain(&self, loc: Addr, cfg: &Config, stats: &Stats, extra_bytes: &AtomicU64) {
+    fn push_plain(
+        &self,
+        loc: Addr,
+        cfg: &Config,
+        stats: &Stats,
+        extra_bytes: &AtomicU64,
+        trace: &Trace,
+        obj_id: u64,
+    ) {
         // Tier 1: embedded array.
         let el = self.embedded_len.load(Ordering::Relaxed) as usize;
         if el < EMBEDDED_ENTRIES {
@@ -310,6 +344,13 @@ impl ThreadLog {
             let block = IndirectBlock::new(cfg.indirect_capacity as u32);
             extra_bytes.fetch_add(block.bytes(), Ordering::Relaxed);
             Stats::bump(&stats.indirect_blocks);
+            trace.record(
+                TraceLevel::Full,
+                EventCode::TierPromote,
+                obj_id,
+                TIER_INDIRECT,
+                cfg.indirect_capacity as u64,
+            );
             ind_ptr = Box::into_raw(block);
             self.indirect.store(ind_ptr, Ordering::Release);
         }
@@ -327,6 +368,13 @@ impl ThreadLog {
             let table = LogHashTable::new(cap);
             extra_bytes.fetch_add(table.bytes(), Ordering::Relaxed);
             Stats::bump(&stats.hashtables);
+            trace.record(
+                TraceLevel::Full,
+                EventCode::TierPromote,
+                obj_id,
+                TIER_HASH,
+                u64::from(cap),
+            );
             let _ = table.insert(loc);
             let raw = Box::into_raw(table);
             self.hash.store(raw, Ordering::Release);
@@ -336,6 +384,13 @@ impl ThreadLog {
             let block = IndirectBlock::new(ind.cap * 2);
             extra_bytes.fetch_add(block.bytes(), Ordering::Relaxed);
             Stats::bump(&stats.indirect_blocks);
+            trace.record(
+                TraceLevel::Full,
+                EventCode::TierPromote,
+                obj_id,
+                TIER_INDIRECT_CHAIN,
+                u64::from(ind.cap * 2),
+            );
             block.prev.store(ind_ptr, Ordering::Release);
             block.entries[0].store(loc, Ordering::Release);
             block.len.store(1, Ordering::Release);
@@ -458,7 +513,7 @@ mod tests {
         // Use widely spaced locations so compression does not kick in.
         let locs: Vec<Addr> = (0..5).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            assert_eq!(log.append(l, &cfg, &stats, &bytes), Appended::Stored);
+            assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
         }
         assert_eq!(collect(&log), locs);
     }
@@ -468,9 +523,9 @@ mod tests {
         let (cfg, stats, bytes) = setup();
         let log = ThreadLog::default();
         let l = HEAP_BASE + 0x2000;
-        assert_eq!(log.append(l, &cfg, &stats, &bytes), Appended::Stored);
+        assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
         for _ in 0..10 {
-            assert_eq!(log.append(l, &cfg, &stats, &bytes), Appended::Duplicate);
+            assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Duplicate);
         }
         assert_eq!(collect(&log), vec![l]);
         assert_eq!(stats.snapshot().dup_ptrs, 10);
@@ -482,12 +537,12 @@ mod tests {
         let cfg = cfg.with_lookback(2).with_compression(false);
         let log = ThreadLog::default();
         let a = HEAP_BASE + 0x1000;
-        log.append(a, &cfg, &stats, &bytes);
+        log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1);
         // Push `a` out of the 2-entry window.
-        log.append(HEAP_BASE + 0x2000, &cfg, &stats, &bytes);
-        log.append(HEAP_BASE + 0x3000, &cfg, &stats, &bytes);
+        log.append(HEAP_BASE + 0x2000, &cfg, &stats, &bytes, &Trace::new(), 1);
+        log.append(HEAP_BASE + 0x3000, &cfg, &stats, &bytes, &Trace::new(), 1);
         // `a` is re-logged because the window no longer covers it.
-        assert_eq!(log.append(a, &cfg, &stats, &bytes), Appended::Stored);
+        assert_eq!(log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
         assert_eq!(
             collect(&log),
             vec![a, HEAP_BASE + 0x2000, HEAP_BASE + 0x3000]
@@ -499,13 +554,13 @@ mod tests {
         let (cfg, stats, bytes) = setup();
         let log = ThreadLog::default();
         let a = HEAP_BASE + 0x100;
-        assert_eq!(log.append(a, &cfg, &stats, &bytes), Appended::Stored);
+        assert_eq!(log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
         assert_eq!(
-            log.append(a + 8, &cfg, &stats, &bytes),
+            log.append(a + 8, &cfg, &stats, &bytes, &Trace::new(), 1),
             Appended::Compressed
         );
         assert_eq!(
-            log.append(a + 16, &cfg, &stats, &bytes),
+            log.append(a + 16, &cfg, &stats, &bytes, &Trace::new(), 1),
             Appended::Compressed
         );
         assert_eq!(log.embedded_len.load(Ordering::Relaxed), 1, "one slot");
@@ -524,7 +579,7 @@ mod tests {
         let n = EMBEDDED_ENTRIES + 20;
         let locs: Vec<Addr> = (0..n as u64).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            log.append(l, &cfg, &stats, &bytes);
+            log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         assert_eq!(collect(&log), locs);
         assert_eq!(stats.snapshot().indirect_blocks, 1);
@@ -544,13 +599,13 @@ mod tests {
         let n = (EMBEDDED_ENTRIES + 8 + 50) as u64;
         let locs: Vec<Addr> = (0..n).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            log.append(l, &cfg, &stats, &bytes);
+            log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         assert_eq!(stats.snapshot().hashtables, 1);
         // Re-appending hash-resident locations is deduplicated.
         let dups_before = stats.snapshot().dup_ptrs;
         let last = *locs.last().unwrap();
-        log.append(last, &cfg, &stats, &bytes);
+        log.append(last, &cfg, &stats, &bytes, &Trace::new(), 1);
         assert_eq!(stats.snapshot().dup_ptrs, dups_before + 1);
         assert_eq!(collect(&log), locs);
     }
@@ -569,7 +624,7 @@ mod tests {
         let n = 2_000u64;
         let locs: Vec<Addr> = (0..n).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            log.append(l, &cfg, &stats, &bytes);
+            log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         assert_eq!(collect(&log), locs);
     }
@@ -588,7 +643,7 @@ mod tests {
         let n = 200u64;
         let locs: Vec<Addr> = (0..n).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            log.append(l, &cfg, &stats, &bytes);
+            log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         assert_eq!(collect(&log), locs);
         assert!(stats.snapshot().indirect_blocks >= 3, "blocks chained");
@@ -606,7 +661,7 @@ mod tests {
         };
         let log = ThreadLog::default();
         for i in 0..100u64 {
-            log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes);
+            log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         let bytes_before = bytes.load(Ordering::Relaxed);
         log.reset();
@@ -614,7 +669,7 @@ mod tests {
         // Reuse after reset works and allocates nothing new (60 entries fit
         // the already-grown hash table without another resize).
         for i in 0..60u64 {
-            log.append(HEAP_BASE + 0x800_0000 + i * 0x1000, &cfg, &stats, &bytes);
+            log.append(HEAP_BASE + 0x800_0000 + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
         }
         assert_eq!(collect(&log).len(), 60);
         assert_eq!(bytes.load(Ordering::Relaxed), bytes_before);
@@ -641,7 +696,7 @@ mod tests {
                 let bytes = AtomicU64::new(0);
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes);
+                    log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
                     i += 1;
                 }
                 i

@@ -71,7 +71,7 @@ impl<T: PoolItem> Pool<T> {
                 Err(actual) => cur = actual,
             }
         }
-        let fresh = Box::into_raw(Box::new(T::default()));
+        let fresh = Box::into_raw(Box::<T>::default());
         self.bytes
             .fetch_add(core::mem::size_of::<T>() as u64, Ordering::Relaxed);
         self.all.lock().expect("not poisoned").push(fresh);

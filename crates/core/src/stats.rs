@@ -135,10 +135,12 @@ impl Drop for HotBatch {
 }
 
 thread_local! {
-    static HOT_BATCH: HotBatch = HotBatch {
-        id: Cell::new(0),
-        slab: Cell::new(core::ptr::null()),
-        hold: RefCell::new(None),
+    static HOT_BATCH: HotBatch = const {
+        HotBatch {
+            id: Cell::new(0),
+            slab: Cell::new(core::ptr::null()),
+            hold: RefCell::new(None),
+        }
     };
 }
 
@@ -249,10 +251,10 @@ impl Stats {
         let mut hot = [0u64; HOT_COUNTERS];
         {
             let live = self.hot.live.lock().unwrap();
-            for i in 0..HOT_COUNTERS {
-                hot[i] = self.hot.retired[i].load(Ordering::Relaxed);
+            for (i, h) in hot.iter_mut().enumerate() {
+                *h = self.hot.retired[i].load(Ordering::Relaxed);
                 for slab in live.iter() {
-                    hot[i] += slab.counts[i].load(Ordering::Relaxed);
+                    *h += slab.counts[i].load(Ordering::Relaxed);
                 }
             }
         }

@@ -4,6 +4,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use dangsan_trace::{EventCode, Trace, TraceLevel, Tracer};
 use dangsan_vmem::{Addr, AddressSpace, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE};
 use std::sync::Mutex;
 
@@ -78,6 +79,9 @@ pub struct Heap {
     heap_pages: AtomicU64,
     /// Public statistics.
     pub stats: HeapStats,
+    /// Flight-recorder attach point; span carving is recorded here. The
+    /// cached malloc/free fast paths never touch it.
+    trace: Trace,
 }
 
 impl Heap {
@@ -94,7 +98,15 @@ impl Heap {
             central,
             heap_pages: AtomicU64::new(0),
             stats: HeapStats::default(),
+            trace: Trace::new(),
         })
+    }
+
+    /// Attaches a flight recorder; span carving is recorded from then on
+    /// (at [`dangsan_trace::TraceLevel::Full`]). Once-only: the first
+    /// tracer wins.
+    pub fn set_tracer(&self, tracer: &Arc<Tracer>) {
+        self.trace.attach(tracer);
     }
 
     /// The address space this heap allocates from.
@@ -131,6 +143,8 @@ impl Heap {
             .map_err(|_| AllocError::OutOfMemory)?;
         self.heap_pages.fetch_add(pages, Ordering::Relaxed);
         self.stats.spans.fetch_add(1, Ordering::Relaxed);
+        self.trace
+            .record(TraceLevel::Full, EventCode::HeapCarve, start, pages, 0);
         Ok(start)
     }
 

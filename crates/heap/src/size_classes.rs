@@ -79,12 +79,12 @@ pub fn class_for_size(internal_size: u64) -> Option<&'static SizeClass> {
         let slots = (MAX_SMALL / 8) as usize;
         let mut map = vec![0u32; slots + 1];
         let mut ci = 0usize;
-        for slot in 0..=slots {
+        for (slot, entry) in map.iter_mut().enumerate() {
             let size = (slot as u64) * 8;
             while table[ci].size < size {
                 ci += 1;
             }
-            map[slot] = table[ci].id;
+            *entry = table[ci].id;
         }
         map
     });

@@ -109,11 +109,7 @@ fn instrument_function(
                 for i in &f.blocks[b.0 as usize].insts {
                     match i {
                         Inst::Free { .. } | Inst::Realloc { .. } => frees = true,
-                        Inst::Call { func, .. } => {
-                            if may_free[func.0 as usize] {
-                                frees = true;
-                            }
-                        }
+                        Inst::Call { func, .. } if may_free[func.0 as usize] => frees = true,
                         _ => {}
                     }
                 }

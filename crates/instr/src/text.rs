@@ -556,8 +556,8 @@ fn print_function(prog: &Program, f: &Function, out: &mut String) {
         .collect();
     let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
     let mut declared: Vec<bool> = vec![false; f.reg_types.len()];
-    for i in 0..f.params as usize {
-        declared[i] = true;
+    for d in declared.iter_mut().take(f.params as usize) {
+        *d = true;
     }
     // First definition gets a type annotation; later ones do not. The
     // printer must scan in execution-independent (textual) order, which is

@@ -31,7 +31,9 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::cell::Cell;
 use std::ptr;
+use std::sync::Arc;
 
+use dangsan_trace::{EventCode, Trace, TraceLevel, Tracer};
 use dangsan_vmem::{Addr, HEAP_BASE, HEAP_SIZE, PAGE_SHIFT, PAGE_SIZE};
 
 const FANOUT: usize = 1 << 12;
@@ -160,6 +162,10 @@ pub struct MetaPageTable {
     cache_enabled: AtomicBool,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Flight-recorder attach point; shadow remaps (object set/clear,
+    /// span registration) are recorded here as Full-level events. The
+    /// lookup fast paths never touch it.
+    trace: Trace,
 }
 
 // SAFETY: all shared state is accessed through atomics; raw pointers are
@@ -186,7 +192,14 @@ impl MetaPageTable {
             cache_enabled: AtomicBool::new(true),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            trace: Trace::new(),
         }
+    }
+
+    /// Attaches a flight recorder; shadow remaps are recorded from then
+    /// on (at [`TraceLevel::Full`]). Once-only: the first tracer wins.
+    pub fn set_tracer(&self, tracer: &Arc<Tracer>) {
+        self.trace.attach(tracer);
     }
 
     fn page_index(addr: Addr) -> Option<usize> {
@@ -238,6 +251,7 @@ impl MetaPageTable {
     pub fn register_span(&self, span_start: Addr, span_pages: u64, shift: u32) {
         debug_assert_eq!(span_start % PAGE_SIZE, 0);
         debug_assert!(shift <= 12);
+        let mut fresh_pages = 0u64;
         for p in 0..span_pages {
             let page_addr = span_start + p * PAGE_SIZE;
             let idx = Self::page_index(page_addr).expect("span inside heap");
@@ -254,6 +268,7 @@ impl MetaPageTable {
                 Ok(_) => {
                     self.shadow_bytes
                         .fetch_add(slots as u64 * 8, Ordering::Relaxed);
+                    fresh_pages += 1;
                 }
                 Err(_) => {
                     // Another thread registered the page concurrently.
@@ -265,11 +280,28 @@ impl MetaPageTable {
                 }
             }
         }
+        if fresh_pages > 0 {
+            // Only spans that actually materialised shadow pages are
+            // events; the idempotent re-registration on every alloc is not.
+            self.trace.record(
+                TraceLevel::Full,
+                EventCode::SpanRegister,
+                span_start,
+                fresh_pages,
+                shift as u64,
+            );
+        }
     }
 
     /// `createobj` (paper §4.3): points every shadow slot covered by
     /// `[base, base + len)` at `meta`. The span must have been registered.
     pub fn set_object(&self, base: Addr, len: u64, meta: u64) {
+        let span = self.trace.span_start(TraceLevel::Full);
+        self.set_slots(base, len, meta);
+        self.trace.span_end(span, EventCode::ShadowSet, base, len);
+    }
+
+    fn set_slots(&self, base: Addr, len: u64, meta: u64) {
         let mut addr = base;
         let end = base + len.max(1);
         while addr < end {
@@ -301,7 +333,9 @@ impl MetaPageTable {
     /// re-reads. A warm cache therefore observes the clear (and any later
     /// reuse of the slots) immediately, at zero cost to other threads.
     pub fn clear_object(&self, base: Addr, len: u64) {
-        self.set_object(base, len, 0);
+        let span = self.trace.span_start(TraceLevel::Full);
+        self.set_slots(base, len, 0);
+        self.trace.span_end(span, EventCode::ShadowClear, base, len);
     }
 
     /// `ptr2obj` (paper §4.3, Figure 5): maps any interior pointer to its

@@ -1,0 +1,275 @@
+//! Use-after-free trap attribution.
+//!
+//! When a dereference traps non-canonical in vmem (bit 63 set — DangSan's
+//! invalidation signature), the recorded history answers the questions a
+//! crash triage needs: *which* object was that pointer into, *who* freed
+//! it, and *what was the faulting thread doing*. This is the
+//! flight-recorder payoff: aggregate counters can say how many pointers
+//! were invalidated, only the event rings can say which free produced
+//! *this* dangling pointer.
+
+use crate::{
+    unpack_pages, unpack_site, unpack_size, unpack_walked, Event, EventCode, Tracer,
+};
+
+/// DangSan's invalidation bit; a faulting address with it set is a
+/// neutralised dangling pointer (mirrors `dangsan_vmem::INVALID_BIT`,
+/// which this dependency-free crate cannot name).
+const INVALID_BIT: u64 = 1 << 63;
+
+/// Trailing events reported from the faulting thread by [`uaf_report`].
+pub const DEFAULT_TRAIL: usize = 8;
+
+/// A structured use-after-free report, built by [`uaf_report`].
+#[derive(Debug, Clone)]
+pub struct UafReport {
+    /// The faulting (non-canonical) address as dereferenced.
+    pub fault_addr: u64,
+    /// The pre-invalidation pointer (bit 63 cleared).
+    pub original_addr: u64,
+    /// The freed object's id (the epoch it lived under).
+    pub object_id: u64,
+    /// The freed object's base address.
+    pub base: u64,
+    /// Requested size, if the object's birth is still in the rings.
+    pub size: Option<u64>,
+    /// Allocation-site id, if the birth is still in the rings.
+    pub alloc_site: Option<u64>,
+    /// Allocating thread + its event sequence, if the birth is still in
+    /// the rings.
+    pub alloc: Option<(u64, u64)>,
+    /// The freeing thread.
+    pub free_thread: u64,
+    /// The free's event sequence on the freeing thread.
+    pub free_seq: u64,
+    /// Locations the free rewrote to non-canonical addresses.
+    pub invalidated: u64,
+    /// The free's sweep shape (locations walked, pages touched, duration
+    /// in nanoseconds), when captured at [`crate::TraceLevel::Full`].
+    pub sweep: Option<(u64, u64, u64)>,
+    /// The thread that dereferenced the dangling pointer, when its trap
+    /// was recorded.
+    pub fault_thread: Option<u64>,
+    /// The trailing events on the faulting thread, oldest first, ending
+    /// at the trap.
+    pub trail: Vec<Event>,
+}
+
+/// Attributes a non-canonical trap at `fault_addr` to the free that
+/// produced it, reading the trailing [`DEFAULT_TRAIL`] events of the
+/// faulting thread. Returns `None` when no recorded free covers the
+/// address (tracing off, birth/free already overwritten, or a
+/// non-canonical value the detector never invalidated).
+pub fn uaf_report(tracer: &Tracer, fault_addr: u64) -> Option<UafReport> {
+    uaf_report_with(tracer, fault_addr, DEFAULT_TRAIL)
+}
+
+/// [`uaf_report`] with an explicit trailing-event count.
+pub fn uaf_report_with(tracer: &Tracer, fault_addr: u64, trail: usize) -> Option<UafReport> {
+    let original = fault_addr & !INVALID_BIT;
+    let snaps = tracer.snapshot();
+
+    // Births, keyed by object id, so a free's [base, base+size] range is
+    // known. A wrapped-out birth degrades matching to base equality.
+    let mut births: Vec<&Event> = Vec::new();
+    let mut frees: Vec<&Event> = Vec::new();
+    let mut faults: Vec<&Event> = Vec::new();
+    for snap in &snaps {
+        for e in &snap.events {
+            match e.code {
+                EventCode::ObjectAlloc => births.push(e),
+                EventCode::ObjectFree => frees.push(e),
+                EventCode::VmemFault => faults.push(e),
+                _ => {}
+            }
+        }
+    }
+    let birth_of = |id: u64| births.iter().rev().find(|e| e.b == id);
+
+    // The free responsible: the latest one whose object range covers the
+    // original address at the time it ran.
+    let free = frees
+        .iter()
+        .filter(|f| {
+            let base = f.a;
+            match birth_of(f.b) {
+                Some(birth) => {
+                    // One-past-the-end stays in range (the +1 guard byte).
+                    original >= base && original <= base + unpack_size(birth.c)
+                }
+                None => original == base,
+            }
+        })
+        .max_by_key(|f| (f.ts, f.seq))?;
+    let birth = birth_of(free.b);
+
+    // The trap itself, if the faulting thread's ring captured it: the
+    // latest recorded fault on this address names the faulting thread
+    // and anchors the trailing-event window.
+    let fault_ev = faults
+        .iter()
+        .filter(|e| e.a == fault_addr)
+        .max_by_key(|e| (e.ts, e.seq))
+        .copied();
+    let mut trail_events = Vec::new();
+    if let Some(fe) = fault_ev {
+        if let Some(snap) = snaps.iter().find(|s| s.thread == fe.thread) {
+            let upto: Vec<&Event> = snap
+                .events
+                .iter()
+                .filter(|e| e.seq <= fe.seq)
+                .collect();
+            let skip = upto.len().saturating_sub(trail);
+            trail_events = upto[skip..].iter().map(|e| **e).collect();
+        }
+    }
+
+    let sweep = snaps
+        .iter()
+        .flat_map(|s| &s.events)
+        .filter(|e| e.code == EventCode::FreeSweep && e.a == free.b)
+        .max_by_key(|e| (e.ts, e.seq))
+        .map(|e| (unpack_walked(e.b), unpack_pages(e.b), e.c));
+
+    Some(UafReport {
+        fault_addr,
+        original_addr: original,
+        object_id: free.b,
+        base: free.a,
+        size: birth.map(|b| unpack_size(b.c)),
+        alloc_site: birth.map(|b| unpack_site(b.c)),
+        alloc: birth.map(|b| (b.thread, b.seq)),
+        free_thread: free.thread,
+        free_seq: free.seq,
+        invalidated: free.c,
+        sweep,
+        fault_thread: fault_ev.map(|e| e.thread),
+        trail: trail_events,
+    })
+}
+
+impl std::fmt::Display for UafReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "USE-AFTER-FREE: dereference of invalidated pointer")?;
+        writeln!(
+            f,
+            "  faulting address   {:#x}  (originally {:#x})",
+            self.fault_addr, self.original_addr
+        )?;
+        write!(
+            f,
+            "  freed object       id {} @ {:#x}",
+            self.object_id, self.base
+        )?;
+        match (self.size, self.alloc_site) {
+            (Some(size), Some(site)) => writeln!(f, ", {size} bytes (alloc site {site})")?,
+            _ => writeln!(f, ", birth already overwritten in ring")?,
+        }
+        match self.alloc {
+            Some((thread, seq)) => {
+                writeln!(f, "  allocated by       thread {thread} (event #{seq})")?
+            }
+            None => writeln!(f, "  allocated by       <unknown>")?,
+        }
+        writeln!(
+            f,
+            "  freed by           thread {} (event #{})",
+            self.free_thread, self.free_seq
+        )?;
+        writeln!(
+            f,
+            "  the free rewrote   {} location(s) to non-canonical addresses",
+            self.invalidated
+        )?;
+        if let Some((walked, pages, dur)) = self.sweep {
+            writeln!(
+                f,
+                "  sweep shape        {walked} location(s) walked over {pages} page(s) in {dur} ns"
+            )?;
+        }
+        match self.fault_thread {
+            Some(t) => writeln!(f, "  dereferenced by    thread {t}")?,
+            None => writeln!(f, "  dereferenced by    <trap not recorded>")?,
+        }
+        if !self.trail.is_empty() {
+            writeln!(f, "  trailing events on the faulting thread:")?;
+            for e in &self.trail {
+                writeln!(
+                    f,
+                    "    #{:<6} +{:>12}ns  {:<13} a={:#x} b={:#x} c={}",
+                    e.seq,
+                    e.ts,
+                    e.code.name(),
+                    e.a,
+                    e.b,
+                    e.c
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack_size_site, pack_sweep, TraceLevel};
+
+    #[test]
+    fn attributes_a_trap_to_the_covering_free() {
+        let tracer = Tracer::new(TraceLevel::Full);
+        let base = 0x10_0000_0000u64;
+        // Two lifetimes at the same base; the trap must pin the second.
+        tracer.record(EventCode::ObjectAlloc, base, 41, pack_size_site(64, 3));
+        tracer.record(EventCode::ObjectFree, base, 41, 1);
+        tracer.record(EventCode::ObjectAlloc, base, 42, pack_size_site(48, 7));
+        tracer.record(EventCode::FreeSweep, 42, pack_sweep(5, 2), 900);
+        tracer.record(EventCode::ObjectFree, base, 42, 3);
+        let dangling = (base + 16) | INVALID_BIT;
+        tracer.record(EventCode::VmemFault, dangling, 1, 0);
+
+        let r = uaf_report(&tracer, dangling).expect("attributed");
+        assert_eq!(r.object_id, 42);
+        assert_eq!(r.base, base);
+        assert_eq!(r.original_addr, base + 16);
+        assert_eq!(r.size, Some(48));
+        assert_eq!(r.alloc_site, Some(7));
+        assert_eq!(r.invalidated, 3);
+        assert_eq!(r.free_thread, crate::current_thread_id());
+        assert_eq!(r.sweep, Some((5, 2, 900)));
+        assert_eq!(r.fault_thread, Some(crate::current_thread_id()));
+        assert_eq!(r.trail.last().unwrap().code, EventCode::VmemFault);
+        let text = r.to_string();
+        assert!(text.contains("id 42"), "{text}");
+        assert!(text.contains("3 location(s)"), "{text}");
+    }
+
+    #[test]
+    fn unrelated_addresses_are_not_attributed() {
+        let tracer = Tracer::new(TraceLevel::Lifecycles);
+        let base = 0x10_0000_0000u64;
+        tracer.record(EventCode::ObjectAlloc, base, 9, pack_size_site(32, 0));
+        tracer.record(EventCode::ObjectFree, base, 9, 1);
+        // An address past the object (beyond the one-past-the-end guard).
+        assert!(uaf_report(&tracer, (base + 40) | INVALID_BIT).is_none());
+        // An address below it.
+        assert!(uaf_report(&tracer, (base - 8) | INVALID_BIT).is_none());
+    }
+
+    #[test]
+    fn survives_a_wrapped_out_birth() {
+        // Ring too small to keep the birth: matching degrades to base
+        // equality but the free is still attributed.
+        let tracer = Tracer::with_capacity(TraceLevel::Lifecycles, 16);
+        let base = 0x10_0000_0000u64;
+        tracer.record(EventCode::ObjectAlloc, base, 5, pack_size_site(64, 0));
+        for i in 0..20u64 {
+            tracer.record(EventCode::ObjectAlloc, base + 0x1000 + i * 64, 100 + i, 0);
+        }
+        tracer.record(EventCode::ObjectFree, base, 5, 2);
+        let r = uaf_report(&tracer, base | INVALID_BIT).expect("base match");
+        assert_eq!(r.object_id, 5);
+        assert_eq!(r.size, None);
+        assert_eq!(r.invalidated, 2);
+    }
+}

@@ -10,6 +10,9 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::ptr;
+use std::sync::Arc;
+
+use dangsan_trace::{EventCode, Trace, TraceLevel, Tracer};
 
 use crate::layout::{
     is_canonical_user, page_of, word_index, Addr, PAGE_SHIFT, PAGE_SIZE, WORDS_PER_PAGE,
@@ -280,6 +283,10 @@ pub struct AddressSpace {
     tlb_enabled: AtomicBool,
     tlb_hits: AtomicU64,
     tlb_misses: AtomicU64,
+    /// Flight-recorder attach point; faults are recorded here. Detached
+    /// (free) until [`AddressSpace::set_tracer`], and only fault paths
+    /// consult it — word-access fast paths never touch it.
+    trace: Trace,
 }
 
 // SAFETY: all interior mutability is through atomics; raw child pointers are
@@ -305,7 +312,33 @@ impl AddressSpace {
             tlb_enabled: AtomicBool::new(true),
             tlb_hits: AtomicU64::new(0),
             tlb_misses: AtomicU64::new(0),
+            trace: Trace::new(),
         }
+    }
+
+    /// Attaches a flight recorder; faults (including the non-canonical
+    /// traps DangSan's invalidation produces) are recorded from then on.
+    /// Once-only: the first attached tracer stays for the space's
+    /// lifetime.
+    pub fn set_tracer(&self, tracer: &Arc<Tracer>) {
+        self.trace.attach(tracer);
+    }
+
+    /// Builds (and records) a fault at `addr`.
+    #[cold]
+    fn fault(&self, kind: FaultKind, addr: Addr) -> MemFault {
+        self.trace.record(
+            TraceLevel::Lifecycles,
+            EventCode::VmemFault,
+            addr,
+            match kind {
+                FaultKind::Unmapped => 0,
+                FaultKind::NonCanonical => 1,
+                FaultKind::Unaligned => 2,
+            },
+            0,
+        );
+        MemFault { kind, addr }
     }
 
     fn indices(page: u64) -> (usize, usize, usize) {
@@ -540,21 +573,17 @@ impl AddressSpace {
 
     fn word(&self, addr: Addr) -> Result<&AtomicU64, MemFault> {
         if !is_canonical_user(addr) {
-            return Err(MemFault {
-                kind: FaultKind::NonCanonical,
-                addr,
-            });
+            // The UAF trap: DangSan's invalidation sets bit 63, so a
+            // dereference of a neutralised dangling pointer lands here.
+            // Recording it gives the forensics pass its anchor event.
+            return Err(self.fault(FaultKind::NonCanonical, addr));
         }
-        if addr % 8 != 0 {
-            return Err(MemFault {
-                kind: FaultKind::Unaligned,
-                addr,
-            });
+        if !addr.is_multiple_of(8) {
+            return Err(self.fault(FaultKind::Unaligned, addr));
         }
-        let page = self.lookup_page_fast(addr).ok_or(MemFault {
-            kind: FaultKind::Unmapped,
-            addr,
-        })?;
+        let page = self
+            .lookup_page_fast(addr)
+            .ok_or_else(|| self.fault(FaultKind::Unmapped, addr))?;
         Ok(&page.words[word_index(addr)])
     }
 
@@ -621,20 +650,14 @@ impl AddressSpace {
     #[inline]
     pub fn with_page(&self, addr: Addr) -> Result<PageRef<'_>, MemFault> {
         if !is_canonical_user(addr) {
-            return Err(MemFault {
-                kind: FaultKind::NonCanonical,
-                addr,
-            });
+            return Err(self.fault(FaultKind::NonCanonical, addr));
         }
         match self.lookup_page_fast(addr) {
             Some(page) => Ok(PageRef {
                 page,
                 base: addr & !(PAGE_SIZE - 1),
             }),
-            None => Err(MemFault {
-                kind: FaultKind::Unmapped,
-                addr,
-            }),
+            None => Err(self.fault(FaultKind::Unmapped, addr)),
         }
     }
 
@@ -697,7 +720,7 @@ impl AddressSpace {
     /// translation per page crossed.
     pub fn zero(&self, addr: Addr, len: u64) -> Result<(), MemFault> {
         let words = len.div_ceil(8);
-        if words > 0 && addr % 8 != 0 {
+        if words > 0 && !addr.is_multiple_of(8) {
             return Err(MemFault {
                 kind: FaultKind::Unaligned,
                 addr,

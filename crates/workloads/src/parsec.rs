@@ -93,7 +93,6 @@ where
             let done = &done_stores;
             let pattern = profile.pattern;
             let slab_base = slab.base;
-            let threads = threads;
             scope.spawn(move || {
                 let mut th = hh.thread_handle();
                 let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);

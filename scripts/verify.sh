@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build/tests plus a quick hot-path bench pass
-# gated against the committed BENCH_hotpath.json baseline.
+# Repo verification: tier-1 build/lint/tests plus a quick hot-path bench
+# pass gated against the committed BENCH_hotpath.json baseline.
 #
 # Usage: scripts/verify.sh
 #
-# Fails if the tier-1 suite fails, if the committed baseline itself shows
-# any of the four core benches below 1.0x (a sub-1.0 baseline must never
-# be locked in — it means the caches are a net loss on that path), or if
-# the current quick run's cache speedup (caches-on / caches-off within
-# the same run, so machine-load noise cancels) regresses more than 20%
-# below the committed baseline's on any bench.
+# Fails if:
+#   - the tier-1 suite (build, clippy -D warnings, tests) fails,
+#   - the committed baseline is missing, unparsable, or missing a bench,
+#   - the committed baseline locks in a sub-1.0x speedup on a core bench
+#     (the caches must be a net win on every path they touch),
+#   - the current quick run's same-run speedup regresses more than 20%
+#     relative to the committed baseline's on any bench (the now/base
+#     ratio is printed per bench),
+#   - the flight recorder's Off mode fails its overhead budget: the
+#     trace_off bench's same-run ratio (trace Off throughput / traced
+#     throughput) must stay >= 0.98, i.e. disabling tracing must remove
+#     its cost to within 2%.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
+
+echo "== tier-1: cargo clippy -D warnings =="
+cargo clippy -q --all-targets -- -D warnings
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
@@ -25,15 +34,20 @@ tmp_json=$(mktemp /tmp/hotpath.XXXXXX.json)
 trap 'rm -f "$tmp_json"' EXIT
 cargo run --release -p dangsan-bench --bin hotpath -- --quick --out "$tmp_json"
 
+ALL_BENCHES="registerptr ptr2obj malloc_free invalidate \
+             free_many_ptrs free_many_objs free_while_reg trace_off"
+
 baseline=BENCH_hotpath.json
 if [[ ! -f "$baseline" ]]; then
-    echo "verify: no committed $baseline — run the full bench and commit it:" >&2
+    echo "verify: FAIL — no committed $baseline baseline" >&2
+    echo "verify: run the full bench and commit its output:" >&2
     echo "    cargo run --release -p dangsan-bench --bin hotpath" >&2
     exit 1
 fi
 
-# Extract one bench's cache speedup from a hotpath JSON: the value on
-# the first "speedup" line after the bench's key.
+# Extract one bench's speedup from a hotpath JSON: the value on the
+# first "speedup" line after the bench's key. Empty output = that bench
+# is missing or the file is not hotpath JSON.
 speedup_of() {
     awk -v bench="\"$2\"" '
         index($0, bench) { in_bench = 1 }
@@ -43,6 +57,23 @@ speedup_of() {
     ' "$1"
 }
 
+# Gate 0 — the baseline itself must parse and carry every gated bench;
+# a truncated, hand-edited or schema-drifted baseline fails loudly here
+# rather than silently skipping gates.
+parse_errors=0
+for bench in $ALL_BENCHES; do
+    base=$(speedup_of "$baseline" "$bench")
+    if [[ -z "$base" ]] || ! awk -v v="$base" 'BEGIN { exit (v+0 > 0 ? 0 : 1) }'; then
+        echo "verify: FAIL — $baseline has no parsable \"$bench\" speedup (got '$base')" >&2
+        parse_errors=1
+    fi
+done
+if [[ $parse_errors -ne 0 ]]; then
+    echo "verify: FAIL — committed $baseline is unusable; regenerate it:" >&2
+    echo "    cargo run --release -p dangsan-bench --bin hotpath" >&2
+    exit 1
+fi
+
 status=0
 
 # Gate 1 — the committed baseline must show every core bench at >= 1.0x:
@@ -51,10 +82,6 @@ status=0
 # the whole free-path rework and are gated relatively below.)
 for bench in registerptr ptr2obj malloc_free invalidate; do
     base=$(speedup_of "$baseline" "$bench")
-    if [[ -z "$base" ]]; then
-        echo "verify: could not parse $bench speedup from $baseline" >&2
-        exit 1
-    fi
     awk -v bench="$bench" -v base="$base" 'BEGIN {
         if (base < 1.0) {
             printf "verify: FAIL — committed baseline locks in a sub-1.0 %s speedup (%.2f)\n", bench, base
@@ -68,23 +95,41 @@ done
 # baseline's speedup on every bench (same-run on/off ratios, so machine
 # noise largely cancels; quick mode is still too noisy for an absolute
 # gate here — gate 1 holds the absolute line on the committed numbers).
-for bench in registerptr ptr2obj malloc_free invalidate \
-             free_many_ptrs free_many_objs free_while_reg; do
+# The printed ratio is now/base: the exact number this gate compares
+# against its 0.80 floor.
+for bench in $ALL_BENCHES; do
     base=$(speedup_of "$baseline" "$bench")
     now=$(speedup_of "$tmp_json" "$bench")
-    if [[ -z "$base" || -z "$now" ]]; then
-        echo "verify: could not parse $bench speedup (baseline='$base', current='$now')" >&2
-        exit 1
+    if [[ -z "$now" ]]; then
+        echo "verify: FAIL — current quick run produced no \"$bench\" speedup" >&2
+        status=1
+        continue
     fi
     awk -v bench="$bench" -v base="$base" -v now="$now" 'BEGIN {
-        floor = 0.8 * base
-        if (now < floor) {
-            printf "verify: FAIL — %s cache speedup regressed >20%% (%.2f < floor %.2f, baseline %.2f)\n", bench, now, floor, base
+        ratio = now / base
+        if (ratio < 0.8) {
+            printf "verify: FAIL — %s speedup regressed >20%% vs baseline: now %.2f / base %.2f = ratio %.3f < 0.800\n", bench, now, base, ratio
             exit 1
         }
-        printf "verify: %-15s OK — speedup %.2f within 20%% of baseline %.2f\n", bench, now, base
+        printf "verify: %-15s OK — now %.2f / base %.2f = ratio %.3f >= 0.800\n", bench, now, base, ratio
     }' || status=1
 done
+
+# Gate 3 — trace_overhead: the flight recorder's Off mode must be free.
+# trace_off's speedup column is a same-run ratio measured by this very
+# quick run (trace_level=Off throughput over trace_level=Lifecycles
+# throughput on an identical lifecycle loop), so machine noise cancels
+# and the 2% budget is checkable on a loaded machine. Below 0.98 means
+# the Off path is paying for tracing it is not doing.
+now=$(speedup_of "$tmp_json" trace_off)
+awk -v now="$now" 'BEGIN {
+    if (now < 0.98) {
+        printf "verify: FAIL — trace_overhead: Off/traced ratio %.3f < 0.980 (trace_level=Off is not free)\n", now
+        exit 1
+    }
+    printf "verify: trace_overhead   OK — Off/traced ratio %.3f >= 0.980\n", now
+}' || status=1
+
 [[ $status -eq 0 ]] || exit 1
 
 echo "verify: all checks passed"
