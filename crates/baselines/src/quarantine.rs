@@ -75,7 +75,12 @@ impl QuarantineHeap {
 
     /// Releases everything (process teardown).
     pub fn drain(&self) -> Result<(), AllocError> {
-        let drained: Vec<Addr> = self.quarantine.lock().expect("not poisoned").drain(..).collect();
+        let drained: Vec<Addr> = self
+            .quarantine
+            .lock()
+            .expect("not poisoned")
+            .drain(..)
+            .collect();
         for a in drained {
             self.heap.free(a)?;
         }

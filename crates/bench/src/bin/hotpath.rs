@@ -357,7 +357,11 @@ fn main() {
         ("invalidate", bench_invalidate, 4_000 * scale),
         ("free_many_ptrs", bench_free_many_ptrs, 200 * scale),
         ("free_many_objs", bench_free_many_objs, 2_000 * scale),
-        ("free_while_reg", bench_free_while_registering, 5_000 * scale),
+        (
+            "free_while_reg",
+            bench_free_while_registering,
+            5_000 * scale,
+        ),
         ("trace_off", bench_trace_off, 20_000 * scale),
     ];
 
@@ -365,7 +369,10 @@ fn main() {
     doc.set("schema", Json::Str("dangsan-hotpath-v1".into()));
     doc.set("quick", Json::Bool(quick));
     let mut section = Json::obj();
-    eprintln!("[hotpath] {} mode, {reps} reps/bench", if quick { "quick" } else { "full" });
+    eprintln!(
+        "[hotpath] {} mode, {reps} reps/bench",
+        if quick { "quick" } else { "full" }
+    );
     println!(
         "{:<15} {:>16} {:>16} {:>8}",
         "bench", "off (ops/s)", "on (ops/s)", "speedup"

@@ -1,0 +1,159 @@
+//! Multicore scaling benchmark: the paper's Figure 9/10 *shape*.
+//!
+//! Drives the mixed malloc/registerptr/free server workload
+//! (`dangsan_workloads::run_server`, nginx-like profile) across 1/2/4/N
+//! worker threads for three arms:
+//!
+//! * `baseline` — detector off (NullDetector), allocator thread-cached;
+//! * `dangsan` — detector on, allocator thread-cached (the shipping
+//!   configuration);
+//! * `locked` — detector on, `Config::thread_cached_heap = false`: every
+//!   malloc/free takes a central-list lock, the allocator this repo had
+//!   before the TLS magazines and the ablation the tentpole is measured
+//!   against.
+//!
+//! Emits `BENCH_scaling.json` with per-thread-count throughput, parallel
+//! efficiency, and the recorded core count — the gates in
+//! `scripts/verify.sh` / `scripts/check_baselines.sh` key their floors on
+//! `cores`, because a 1-core container cannot honestly show a 4-thread
+//! speedup no matter how scalable the allocator is.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dangsan-bench --bin scaling [-- --quick] [--out PATH]
+//! ```
+
+use dangsan::Config;
+use dangsan_bench::report::Json;
+use dangsan_workloads::{run_server, DetectorKind, ServerProfile};
+
+/// Worker-count sweep: the paper's 1/2/4 plus the machine's full core
+/// count when it is larger.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    let cores = cores();
+    if cores > 4 {
+        counts.push(cores);
+    }
+    counts
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The three measured arms.
+const ARMS: &[(&str, fn() -> DetectorKind)] = &[
+    ("baseline", || DetectorKind::Baseline),
+    ("dangsan", || DetectorKind::DangSan(Config::default())),
+    ("locked", || {
+        DetectorKind::DangSan(Config::default().with_thread_cached_heap(false))
+    }),
+];
+
+/// One run: a fresh environment, `workers` threads, `requests` total
+/// requests of nginx-shaped traffic. Returns requests per second.
+fn run_once(kind: DetectorKind, workers: usize, requests: u64, seed: u64) -> f64 {
+    let profile = ServerProfile {
+        name: "scaling",
+        workers,
+        allocs_per_request: 12,
+        stores_per_request: 64,
+        retained_frac: 0.05,
+        static_bytes: 1 << 20,
+        paper_slowdown: 1.0,
+        paper_mem: 1.0,
+    };
+    let hh = dangsan_workloads::shared_env(kind);
+    run_server(&profile, requests, 0, &hh, seed).rps
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+
+    let (reps, req_per_thread) = if quick { (3, 6_000u64) } else { (5, 20_000u64) };
+    let counts = thread_counts();
+    let cores = cores();
+    eprintln!(
+        "[scaling] {} mode, {reps} reps, {} cores, threads {:?}",
+        if quick { "quick" } else { "full" },
+        cores,
+        counts
+    );
+    println!(
+        "{:<10} {:>4} {:>14} {:>9} {:>11}",
+        "arm", "thr", "req/s", "speedup", "efficiency"
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str("dangsan-scaling-v1".into()));
+    doc.set("quick", Json::Bool(quick));
+    doc.set("cores", Json::Num(cores as f64));
+    let mut arms_json = Json::obj();
+    // rps[arm][thread-count], best of `reps` interleaved passes: each rep
+    // visits every (arm, count) cell once before any cell repeats, so load
+    // drift hits all cells alike instead of whichever ran last.
+    let mut rps = vec![vec![0f64; counts.len()]; ARMS.len()];
+    for rep in 0..reps {
+        for (a, (_, kind)) in ARMS.iter().enumerate() {
+            for (c, &workers) in counts.iter().enumerate() {
+                let requests = req_per_thread * workers as u64;
+                let r = run_once(kind(), workers, requests, 0x5ca1e ^ rep as u64);
+                if r > rps[a][c] {
+                    rps[a][c] = r;
+                }
+            }
+        }
+    }
+    for (a, (name, _)) in ARMS.iter().enumerate() {
+        let one = rps[a][0];
+        let mut arm_json = Json::obj();
+        for (c, &workers) in counts.iter().enumerate() {
+            let speedup = rps[a][c] / one;
+            let efficiency = speedup / workers as f64;
+            println!(
+                "{name:<10} {workers:>4} {:>14.0} {speedup:>8.2}x {efficiency:>11.2}",
+                rps[a][c]
+            );
+            let mut cell = Json::obj();
+            cell.set("threads", Json::Num(workers as f64));
+            cell.set("ops_per_sec", Json::Num(rps[a][c]));
+            cell.set("speedup_vs_1t", Json::Num(speedup));
+            cell.set("parallel_efficiency", Json::Num(efficiency));
+            arm_json.set(&format!("t{workers}"), cell);
+        }
+        arms_json.set(name, arm_json);
+    }
+    doc.set("arms", arms_json);
+
+    // The derived figures the verify gates read (flat keys, one line each,
+    // so the shell-side awk extraction stays trivial).
+    let idx4 = counts.iter().position(|&c| c == 4).expect("4 is swept");
+    let dangsan = ARMS.iter().position(|(n, _)| *n == "dangsan").expect("arm");
+    let locked = ARMS.iter().position(|(n, _)| *n == "locked").expect("arm");
+    let mut derived = Json::obj();
+    derived.set(
+        "dangsan_speedup_4t_over_1t",
+        Json::Num(rps[dangsan][idx4] / rps[dangsan][0]),
+    );
+    derived.set(
+        "dangsan_parallel_efficiency_4t",
+        Json::Num(rps[dangsan][idx4] / rps[dangsan][0] / 4.0),
+    );
+    derived.set(
+        "cached_over_locked_1t",
+        Json::Num(rps[dangsan][0] / rps[locked][0]),
+    );
+    doc.set("derived", derived);
+
+    std::fs::write(&out_path, doc.render_pretty()).expect("write json");
+    eprintln!("[scaling] wrote {out_path}");
+}

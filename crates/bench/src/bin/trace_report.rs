@@ -84,13 +84,16 @@ fn run_workload(mem: &Arc<AddressSpace>, heap: &Arc<Heap>, det: &Arc<DangSan>) -
     det.on_alloc(&list_node);
     let victim = heap.malloc(48).expect("victim");
     det.on_alloc(&victim);
-    mem.write_word(list_node.base, victim.base + 8).expect("store");
+    mem.write_word(list_node.base, victim.base + 8)
+        .expect("store");
     det.register_ptr(list_node.base, victim.base + 8);
     det.on_free(victim.base);
     heap.free(victim.base).expect("free");
 
     let dangling = mem.read_word(list_node.base).expect("load");
-    let fault = mem.read_word(dangling).expect_err("dangling deref must trap");
+    let fault = mem
+        .read_word(dangling)
+        .expect_err("dangling deref must trap");
     assert_eq!(fault.kind, FaultKind::NonCanonical, "the UAF trap");
     dangling
 }

@@ -43,6 +43,12 @@ pub struct Config {
     /// location set, so reports and counters are identical; the knob
     /// isolates the translation batching for the ablation benchmarks.
     pub page_batched_free: bool,
+    /// Serve the allocator's malloc/free from the heap's TLS magazines
+    /// (tcmalloc's per-thread caches). Off routes every operation through
+    /// the locked central free lists — the "locked allocator" baseline the
+    /// scaling benchmark compares against. Allocation placement differs
+    /// between the two paths; detector behaviour does not.
+    pub thread_cached_heap: bool,
     /// Flight-recorder capture level. `Off` (the default) costs one
     /// relaxed load + branch at each record site — and the registration
     /// fast path has no record sites at all. `Lifecycles` captures what
@@ -63,6 +69,7 @@ impl Default for Config {
             hook_memcpy: false,
             hot_path_caches: true,
             page_batched_free: true,
+            thread_cached_heap: true,
             trace_level: TraceLevel::Off,
         }
     }
@@ -110,6 +117,12 @@ impl Config {
         self
     }
 
+    /// Returns a copy with the heap's TLS-magazine fast path toggled.
+    pub fn with_thread_cached_heap(mut self, on: bool) -> Self {
+        self.thread_cached_heap = on;
+        self
+    }
+
     /// Returns a copy with a different flight-recorder capture level.
     pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
@@ -128,6 +141,7 @@ mod tests {
         assert!(c.compression);
         assert!(c.hash_fallback);
         assert!(!c.hook_memcpy, "the paper did not implement the hook");
+        assert!(c.thread_cached_heap, "tcmalloc base caches per thread");
         assert_eq!(c.trace_level, TraceLevel::Off, "tracing is an opt-in");
     }
 

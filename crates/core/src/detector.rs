@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use dangsan_heap::Allocation;
 use dangsan_shadow::MetaPageTable;
-use dangsan_trace::{
-    forensics, pack_size_site, pack_sweep, EventCode, Trace, TraceLevel, Tracer,
-};
+use dangsan_trace::{forensics, pack_size_site, pack_sweep, EventCode, Trace, TraceLevel, Tracer};
 use dangsan_vmem::{
     Addr, AddressSpace, CasOutcome, FaultKind, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE,
 };
@@ -378,13 +376,14 @@ impl DangSan {
         DET_CACHES.with(|caches| {
             if caches.reg_used.get() {
                 let slot = caches.reg[((loc >> 3) as usize) & (REG_CACHE_SLOTS - 1)].get();
-                let memo_hit = slot.det_id == self.id && slot.loc == loc && slot.value == value && {
-                    // SAFETY: the det_id compare just passed, so `meta_val`
-                    // names a record in this detector's live, type-stable
-                    // pool (see [`RegCacheSlot`] — the order matters).
-                    let meta = unsafe { ObjectMeta::from_meta_value(slot.meta_val) };
-                    meta.epoch.load(Ordering::Acquire) == slot.epoch
-                };
+                let memo_hit =
+                    slot.det_id == self.id && slot.loc == loc && slot.value == value && {
+                        // SAFETY: the det_id compare just passed, so `meta_val`
+                        // names a record in this detector's live, type-stable
+                        // pool (see [`RegCacheSlot`] — the order matters).
+                        let meta = unsafe { ObjectMeta::from_meta_value(slot.meta_val) };
+                        meta.epoch.load(Ordering::Acquire) == slot.epoch
+                    };
                 if memo_hit {
                     // Counter effects of the skipped walk: one registration,
                     // one hash-tier duplicate, plus the cache diagnostic.
@@ -419,7 +418,8 @@ impl DangSan {
                 // conservative, never unsafe.
                 let epoch = meta.epoch.load(Ordering::Acquire);
                 let meta_val = meta.as_meta_value();
-                self.stats.bump_hot2(Hot::PtrsRegistered, Hot::LogCacheMisses);
+                self.stats
+                    .bump_hot2(Hot::PtrsRegistered, Hot::LogCacheMisses);
                 let log = self.find_or_create_log(meta);
                 caches.log[lidx].set(LogCacheSlot {
                     det_id: self.id,
@@ -429,7 +429,14 @@ impl DangSan {
                 });
                 (log as &ThreadLog, meta_val, epoch)
             };
-            log.append(loc, &self.cfg, &self.stats, &self.extra_bytes, &self.trace, epoch);
+            log.append(
+                loc,
+                &self.cfg,
+                &self.stats,
+                &self.extra_bytes,
+                &self.trace,
+                epoch,
+            );
             if log.hash_active() {
                 // `loc` is now a member of the log's hash set, and members
                 // are never removed while the object lives: memoize the
@@ -532,8 +539,13 @@ impl Detector for DangSan {
         let obj_id = meta.epoch.load(Ordering::Acquire);
         let new_epoch = fresh_epoch();
         meta.epoch.store(new_epoch, Ordering::Release);
-        self.trace
-            .record(TraceLevel::Full, EventCode::EpochRetire, obj_id, new_epoch, 0);
+        self.trace.record(
+            TraceLevel::Full,
+            EventCode::EpochRetire,
+            obj_id,
+            new_epoch,
+            0,
+        );
         let sweep = self.trace.span_start(TraceLevel::Full);
         // Drain every tier of every thread's log into one pooled scratch
         // buffer (no host allocation in steady state)...
@@ -619,8 +631,12 @@ impl Detector for DangSan {
             (Hot::FreePagesTouched, pages),
             (Hot::free_hist_bucket(walked), 1),
         ]);
-        self.trace
-            .span_end(sweep, EventCode::FreeSweep, obj_id, pack_sweep(walked, pages));
+        self.trace.span_end(
+            sweep,
+            EventCode::FreeSweep,
+            obj_id,
+            pack_sweep(walked, pages),
+        );
         self.scratch.recycle(locs);
         // Tear down: clear the shadow mapping, then recycle logs and meta.
         let covered = meta.covered.load(Ordering::Acquire);
@@ -667,7 +683,14 @@ impl Detector for DangSan {
         self.stats.bump_hot(Hot::PtrsRegistered);
         let log = self.find_or_create_log(meta);
         let epoch = meta.epoch.load(Ordering::Relaxed);
-        log.append(loc, &self.cfg, &self.stats, &self.extra_bytes, &self.trace, epoch);
+        log.append(
+            loc,
+            &self.cfg,
+            &self.stats,
+            &self.extra_bytes,
+            &self.trace,
+            epoch,
+        );
     }
 
     fn on_memcpy(&self, dst: Addr, len: u64) {
@@ -1027,7 +1050,10 @@ mod tests {
         // And B's log really did receive the entries: free proves it
         // (both holder slots point at B by now).
         let r = det.on_free(b.base);
-        assert_eq!(r.invalidated, 2, "post-free registrations landed in B's log");
+        assert_eq!(
+            r.invalidated, 2,
+            "post-free registrations landed in B's log"
+        );
     }
 
     #[test]

@@ -321,6 +321,49 @@ mod tests {
     }
 
     #[test]
+    fn hot_counters_exact_across_thread_cached_heap() {
+        // The detector's per-op counters must be exact after a join no
+        // matter which allocator path served the traffic: stats are
+        // bumped per operation, never per magazine batch.
+        for cached in [true, false] {
+            let (_, hh) = setup_dangsan();
+            hh.heap().set_thread_cached(cached);
+            const THREADS: u64 = 4;
+            const ROUNDS: u64 = 400;
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                let hh = hh.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut th = hh.thread_handle();
+                    for _ in 0..ROUNDS {
+                        let obj = th.malloc(32).unwrap();
+                        let holder = th.malloc(8).unwrap();
+                        th.store_ptr(holder.base, obj.base).unwrap();
+                        th.free(obj.base).unwrap();
+                        th.free(holder.base).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let s = hh.detector().stats();
+            assert_eq!(s.objects_allocated, THREADS * ROUNDS * 2, "cached={cached}");
+            assert_eq!(s.objects_freed, THREADS * ROUNDS * 2, "cached={cached}");
+            assert_eq!(s.ptrs_registered, THREADS * ROUNDS, "cached={cached}");
+            assert_eq!(s.ptrs_invalidated, THREADS * ROUNDS, "cached={cached}");
+            let heap = hh.heap();
+            assert_eq!(
+                heap.stats
+                    .mallocs
+                    .load(core::sync::atomic::Ordering::Relaxed),
+                THREADS * ROUNDS * 2
+            );
+            assert_eq!(heap.magazine_blocks(), 0, "joined threads drained");
+        }
+    }
+
+    #[test]
     fn null_detector_heap_has_no_protection() {
         let mem = Arc::new(AddressSpace::new());
         let heap = Heap::new(Arc::clone(&mem));

@@ -513,7 +513,10 @@ mod tests {
         // Use widely spaced locations so compression does not kick in.
         let locs: Vec<Addr> = (0..5).map(|i| HEAP_BASE + i * 0x1000).collect();
         for &l in &locs {
-            assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
+            assert_eq!(
+                log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1),
+                Appended::Stored
+            );
         }
         assert_eq!(collect(&log), locs);
     }
@@ -523,9 +526,15 @@ mod tests {
         let (cfg, stats, bytes) = setup();
         let log = ThreadLog::default();
         let l = HEAP_BASE + 0x2000;
-        assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
+        assert_eq!(
+            log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1),
+            Appended::Stored
+        );
         for _ in 0..10 {
-            assert_eq!(log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Duplicate);
+            assert_eq!(
+                log.append(l, &cfg, &stats, &bytes, &Trace::new(), 1),
+                Appended::Duplicate
+            );
         }
         assert_eq!(collect(&log), vec![l]);
         assert_eq!(stats.snapshot().dup_ptrs, 10);
@@ -542,7 +551,10 @@ mod tests {
         log.append(HEAP_BASE + 0x2000, &cfg, &stats, &bytes, &Trace::new(), 1);
         log.append(HEAP_BASE + 0x3000, &cfg, &stats, &bytes, &Trace::new(), 1);
         // `a` is re-logged because the window no longer covers it.
-        assert_eq!(log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
+        assert_eq!(
+            log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1),
+            Appended::Stored
+        );
         assert_eq!(
             collect(&log),
             vec![a, HEAP_BASE + 0x2000, HEAP_BASE + 0x3000]
@@ -554,7 +566,10 @@ mod tests {
         let (cfg, stats, bytes) = setup();
         let log = ThreadLog::default();
         let a = HEAP_BASE + 0x100;
-        assert_eq!(log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1), Appended::Stored);
+        assert_eq!(
+            log.append(a, &cfg, &stats, &bytes, &Trace::new(), 1),
+            Appended::Stored
+        );
         assert_eq!(
             log.append(a + 8, &cfg, &stats, &bytes, &Trace::new(), 1),
             Appended::Compressed
@@ -661,7 +676,14 @@ mod tests {
         };
         let log = ThreadLog::default();
         for i in 0..100u64 {
-            log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
+            log.append(
+                HEAP_BASE + i * 0x1000,
+                &cfg,
+                &stats,
+                &bytes,
+                &Trace::new(),
+                1,
+            );
         }
         let bytes_before = bytes.load(Ordering::Relaxed);
         log.reset();
@@ -669,7 +691,14 @@ mod tests {
         // Reuse after reset works and allocates nothing new (60 entries fit
         // the already-grown hash table without another resize).
         for i in 0..60u64 {
-            log.append(HEAP_BASE + 0x800_0000 + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
+            log.append(
+                HEAP_BASE + 0x800_0000 + i * 0x1000,
+                &cfg,
+                &stats,
+                &bytes,
+                &Trace::new(),
+                1,
+            );
         }
         assert_eq!(collect(&log).len(), 60);
         assert_eq!(bytes.load(Ordering::Relaxed), bytes_before);
@@ -696,7 +725,14 @@ mod tests {
                 let bytes = AtomicU64::new(0);
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    log.append(HEAP_BASE + i * 0x1000, &cfg, &stats, &bytes, &Trace::new(), 1);
+                    log.append(
+                        HEAP_BASE + i * 0x1000,
+                        &cfg,
+                        &stats,
+                        &bytes,
+                        &Trace::new(),
+                        1,
+                    );
                     i += 1;
                 }
                 i

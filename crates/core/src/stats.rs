@@ -450,7 +450,15 @@ mod tests {
         assert_eq!(snap.free_dup_locs, 0);
         assert_eq!(snap.free_locs_hist, [1, 0, 0, 1, 0]);
         // Bucket boundaries.
-        for (walked, bucket) in [(1u64, 1usize), (8, 1), (9, 2), (64, 2), (65, 3), (512, 3), (513, 4)] {
+        for (walked, bucket) in [
+            (1u64, 1usize),
+            (8, 1),
+            (9, 2),
+            (64, 2),
+            (65, 3),
+            (512, 3),
+            (513, 4),
+        ] {
             let t = Stats::default();
             t.bump_hot_by(&[(Hot::free_hist_bucket(walked), 1)]);
             let mut expect = [0u64; 5];

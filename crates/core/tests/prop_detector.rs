@@ -76,7 +76,7 @@ fn invalidation_is_sound_and_precise() {
         let slot_addr = |i: usize| slab.base + (i % 64) as u64 * 8;
 
         let mut objects: Vec<(u64, u64, bool)> = Vec::new(); // (base, size, live)
-        // Model: slot index -> value the program last stored.
+                                                             // Model: slot index -> value the program last stored.
         let mut slots: HashMap<usize, u64> = HashMap::new();
 
         let ops = rng.gen_range(1usize..200);

@@ -1,27 +1,30 @@
-//! The heap proper: page heap, central free lists, malloc/free/realloc.
+//! The heap proper: page heap, sharded central free lists,
+//! malloc/free/realloc, and the TLS-magazine fast path.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use dangsan_trace::{EventCode, Trace, TraceLevel, Tracer};
 use dangsan_vmem::{Addr, AddressSpace, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE};
 use std::sync::Mutex;
 
+use crate::magazine::{self, MagCounter};
 use crate::size_classes::{class_for_size, classes, SizeClass};
 use crate::span::{SpanInfo, SpanRegistry};
 use crate::{AllocError, Allocation, FreeInfo};
 
-/// Objects moved between a thread cache and a central list per lock
+/// Objects moved between a thread magazine and a central list per lock
 /// acquisition.
 pub(crate) const BATCH: usize = 32;
 
-struct PageHeap {
-    /// Next unused page offset within the heap segment (bump pointer).
-    next_page: u64,
-    /// Reusable dedicated spans for large allocations, keyed by page count.
-    large_pool: BTreeMap<u64, Vec<Addr>>,
-}
+/// Shards per central free list. Threads home to a shard round-robin, so
+/// the rare spill/refill batches from different threads usually take
+/// different locks even within one size class.
+pub(crate) const CENTRAL_SHARDS: usize = 4;
+
+/// Never-reused heap identity for the TLS magazine bindings.
+static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Allocator statistics (all monotonic counters).
 #[derive(Debug, Default)]
@@ -54,9 +57,14 @@ pub enum ReallocOutcome {
 
 /// The tcmalloc-style heap.
 ///
-/// Thread-safe: the fast path for cached operations is in
-/// [`crate::ThreadCache`]; direct [`Heap::malloc`]/[`Heap::free`] go through
-/// the per-class central lists (one short lock each).
+/// Thread-safe. With thread caching on (the default), the common
+/// [`Heap::malloc`]/[`Heap::free`] is served lock-free from the calling
+/// thread's TLS magazines (see [`crate::magazine`]); magazines exchange
+/// [`BATCH`]-sized block batches with the sharded central free lists, and
+/// fresh spans are carved off a lock-free bump pointer. With
+/// [`Heap::set_thread_cached`]`(false)` every operation takes the central
+/// path (one short per-class shard lock each) — the "locked" ablation
+/// baseline for the scaling benchmarks.
 ///
 /// # Examples
 ///
@@ -74,9 +82,25 @@ pub enum ReallocOutcome {
 pub struct Heap {
     mem: Arc<AddressSpace>,
     registry: SpanRegistry,
-    page_heap: Mutex<PageHeap>,
-    central: Vec<Mutex<Vec<Addr>>>,
+    /// Next unused page offset within the heap segment: a lock-free bump
+    /// pointer (CAS loop, so a failed oversized carve consumes nothing).
+    next_page: AtomicU64,
+    /// Reusable dedicated spans for large allocations, keyed by page
+    /// count. Large allocations are rare; a plain lock is fine here.
+    large_pool: Mutex<BTreeMap<u64, Vec<Addr>>>,
+    /// Central free lists: `central[class][shard]`.
+    central: Vec<Vec<Mutex<Vec<Addr>>>>,
     heap_pages: AtomicU64,
+    /// Whether malloc/free go through the TLS magazines (default on).
+    thread_cached: AtomicBool,
+    /// Block counters of live TLS magazine bindings (one per thread that
+    /// currently caches for this heap); see [`Heap::magazine_blocks`].
+    mag_registry: Mutex<Vec<Arc<MagCounter>>>,
+    /// Never-reused identity for the TLS magazine bindings.
+    id: u64,
+    /// Weak self-reference handed to TLS bindings so they can drain back
+    /// into the central lists on rebind or thread exit.
+    self_weak: Weak<Heap>,
     /// Public statistics.
     pub stats: HeapStats,
     /// Flight-recorder attach point; span carving is recorded here. The
@@ -87,19 +111,96 @@ pub struct Heap {
 impl Heap {
     /// Creates a heap managing the simulated heap segment of `mem`.
     pub fn new(mem: Arc<AddressSpace>) -> Arc<Heap> {
-        let central = classes().iter().map(|_| Mutex::new(Vec::new())).collect();
-        Arc::new(Heap {
+        let central = classes()
+            .iter()
+            .map(|_| {
+                (0..CENTRAL_SHARDS)
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect()
+            })
+            .collect();
+        Arc::new_cyclic(|self_weak| Heap {
             mem,
             registry: SpanRegistry::new(),
-            page_heap: Mutex::new(PageHeap {
-                next_page: 0,
-                large_pool: BTreeMap::new(),
-            }),
+            next_page: AtomicU64::new(0),
+            large_pool: Mutex::new(BTreeMap::new()),
             central,
             heap_pages: AtomicU64::new(0),
+            thread_cached: AtomicBool::new(true),
+            mag_registry: Mutex::new(Vec::new()),
+            id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
+            self_weak: self_weak.clone(),
             stats: HeapStats::default(),
             trace: Trace::new(),
         })
+    }
+
+    /// This heap's never-reused identity (TLS magazine binding key).
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A weak self-reference for the TLS magazine bindings.
+    pub(crate) fn weak(&self) -> Weak<Heap> {
+        self.self_weak.clone()
+    }
+
+    /// Toggles the TLS-magazine fast path (on by default). Turning it off
+    /// flushes the calling thread's magazines and routes subsequent
+    /// malloc/free through the locked central lists — the ablation
+    /// baseline `Config::thread_cached_heap = false` measures. Blocks
+    /// parked by *other* threads stay put until those threads rebind or
+    /// exit; use a fresh heap per ablation arm for clean comparisons.
+    pub fn set_thread_cached(&self, on: bool) {
+        self.thread_cached.store(on, Ordering::Relaxed);
+        if !on {
+            magazine::flush_current(self);
+        }
+    }
+
+    /// Whether malloc/free use the TLS magazines.
+    pub fn thread_cached(&self) -> bool {
+        self.thread_cached.load(Ordering::Relaxed)
+    }
+
+    /// Drains the calling thread's magazines (if bound to this heap) back
+    /// to the central lists. Exactly what happens automatically on thread
+    /// exit or when the thread touches a different heap.
+    pub fn flush_thread_cache(&self) {
+        magazine::flush_current(self);
+    }
+
+    /// Total blocks currently parked in live TLS magazines, summed over
+    /// every thread caching for this heap. Exact for any reader ordered
+    /// after the caching threads (a `join`); zero once all threads have
+    /// flushed or exited.
+    pub fn magazine_blocks(&self) -> u64 {
+        let reg = self.mag_registry.lock().expect("not poisoned");
+        reg.iter().map(|c| c.blocks()).sum()
+    }
+
+    /// Registers a new TLS magazine binding's block counter.
+    pub(crate) fn register_magazine(&self) -> Arc<MagCounter> {
+        let counter = Arc::new(MagCounter::default());
+        self.mag_registry
+            .lock()
+            .expect("not poisoned")
+            .push(Arc::clone(&counter));
+        counter
+    }
+
+    /// Returns a retiring binding's blocks to the central lists and
+    /// deregisters its counter. Holding the registry lock across the
+    /// handover keeps a concurrent [`Heap::magazine_blocks`] from seeing
+    /// the blocks counted zero or two times.
+    pub(crate) fn retire_magazines(&self, counter: &Arc<MagCounter>, lists: &mut [Vec<Addr>]) {
+        let mut reg = self.mag_registry.lock().expect("not poisoned");
+        for (class_id, list) in lists.iter_mut().enumerate() {
+            if !list.is_empty() {
+                self.central_push(class_id as u32, list, 0);
+            }
+        }
+        reg.retain(|c| !Arc::ptr_eq(c, counter));
     }
 
     /// Attaches a flight recorder; span carving is recorded from then on
@@ -130,13 +231,30 @@ impl Heap {
     }
 
     fn carve_pages(&self, pages: u64) -> Result<Addr, AllocError> {
-        let mut ph = self.page_heap.lock().expect("not poisoned");
-        let start_page = ph.next_page;
-        if (start_page + pages) * PAGE_SIZE > HEAP_SIZE {
-            return Err(AllocError::OutOfMemory);
+        // CAS rather than fetch_add: an oversized request must fail
+        // without advancing the bump pointer, or it would permanently
+        // leak the address space it did not get.
+        let mut start_page = self.next_page.load(Ordering::Relaxed);
+        loop {
+            let end_page = start_page
+                .checked_add(pages)
+                .ok_or(AllocError::OutOfMemory)?;
+            let end_bytes = end_page
+                .checked_mul(PAGE_SIZE)
+                .ok_or(AllocError::OutOfMemory)?;
+            if end_bytes > HEAP_SIZE {
+                return Err(AllocError::OutOfMemory);
+            }
+            match self.next_page.compare_exchange_weak(
+                start_page,
+                end_page,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => start_page = current,
+            }
         }
-        ph.next_page += pages;
-        drop(ph);
         let start = HEAP_BASE + start_page * PAGE_SIZE;
         self.mem
             .map(start, pages * PAGE_SIZE)
@@ -170,27 +288,52 @@ impl Heap {
         Ok(())
     }
 
-    /// Pops up to `want` objects of `class` from the central list into
-    /// `out`, refilling from a fresh span when the list runs dry.
+    /// Pops up to `want` objects of `class` from the central lists into
+    /// `out`: the calling thread's home shard first, then the other
+    /// shards (blocks freed by other threads must be reachable before we
+    /// spend fresh address space), and only then a freshly carved span —
+    /// whose leftover objects are parked on the home shard.
     pub(crate) fn central_pop(
         &self,
         class: &SizeClass,
         want: usize,
         out: &mut Vec<Addr>,
     ) -> Result<(), AllocError> {
-        let mut list = self.central[class.id as usize].lock().expect("not poisoned");
-        if list.is_empty() {
-            self.refill_from_new_span(class, &mut list)?;
+        let shards = &self.central[class.id as usize];
+        let home = magazine::shard_index();
+        for probe in 0..CENTRAL_SHARDS {
+            let mut list = shards[(home + probe) % CENTRAL_SHARDS]
+                .lock()
+                .expect("not poisoned");
+            if list.is_empty() {
+                continue;
+            }
+            let take = want.min(list.len());
+            let at = list.len() - take;
+            out.extend(list.drain(at..));
+            return Ok(());
         }
-        let take = want.min(list.len());
-        let at = list.len() - take;
-        out.extend(list.drain(at..));
+        let mut fresh = Vec::new();
+        self.refill_from_new_span(class, &mut fresh)?;
+        let take = want.min(fresh.len());
+        let at = fresh.len() - take;
+        out.extend(fresh.drain(at..));
+        if !fresh.is_empty() {
+            shards[home]
+                .lock()
+                .expect("not poisoned")
+                .append(&mut fresh);
+        }
         Ok(())
     }
 
-    /// Returns objects of `class` to the central list.
+    /// Returns `objs[keep..]` of `class_id` to the calling thread's home
+    /// central-list shard.
     pub(crate) fn central_push(&self, class_id: u32, objs: &mut Vec<Addr>, keep: usize) {
-        let mut list = self.central[class_id as usize].lock().expect("not poisoned");
+        let shard = magazine::shard_index();
+        let mut list = self.central[class_id as usize][shard]
+            .lock()
+            .expect("not poisoned");
         list.extend(objs.drain(keep..));
     }
 
@@ -218,6 +361,13 @@ impl Heap {
         class: &SizeClass,
         requested: u64,
     ) -> Result<Allocation, AllocError> {
+        if self.thread_cached() {
+            if let Some(res) = magazine::alloc(self, class.id) {
+                let base = res?;
+                let span = self.registry.lookup(base).expect("object has a span");
+                return Ok(self.finish_alloc(span, base, requested));
+            }
+        }
         let mut one = Vec::with_capacity(1);
         self.central_pop(class, 1, &mut one)?;
         let base = one.pop().expect("central_pop returns at least one");
@@ -228,8 +378,8 @@ impl Heap {
     fn alloc_large(&self, requested: u64) -> Result<Allocation, AllocError> {
         let pages = (requested + 1).div_ceil(PAGE_SIZE);
         let reused = {
-            let mut ph = self.page_heap.lock().expect("not poisoned");
-            ph.large_pool.get_mut(&pages).and_then(Vec::pop)
+            let mut pool = self.large_pool.lock().expect("not poisoned");
+            pool.get_mut(&pages).and_then(Vec::pop)
         };
         let start = match reused {
             Some(start) => start,
@@ -328,14 +478,17 @@ impl Heap {
 
     /// Returns a (released) large span to the reuse pool.
     pub(crate) fn pool_large(&self, span: &SpanInfo) {
-        let mut ph = self.page_heap.lock().expect("not poisoned");
-        ph.large_pool
+        self.large_pool
+            .lock()
+            .expect("not poisoned")
             .entry(span.pages)
             .or_default()
             .push(span.start);
     }
 
-    /// Frees the object at `addr` through the central lists.
+    /// Frees the object at `addr`: into the calling thread's magazine
+    /// when thread caching is on, otherwise straight to the home
+    /// central-list shard.
     pub fn free(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
         let (span, info) = self.release(addr)?;
         if span.large {
@@ -344,7 +497,13 @@ impl Heap {
             let class_id = class_for_size(span.stride)
                 .expect("span stride is a class size")
                 .id;
-            self.central[class_id as usize].lock().expect("not poisoned").push(addr);
+            if !(self.thread_cached() && magazine::free(self, class_id, addr)) {
+                let shard = magazine::shard_index();
+                self.central[class_id as usize][shard]
+                    .lock()
+                    .expect("not poisoned")
+                    .push(addr);
+            }
         }
         Ok(info)
     }

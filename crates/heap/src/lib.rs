@@ -24,6 +24,7 @@
 //!   the paper shows for the OpenSSL exploit.
 
 mod heap;
+mod magazine;
 mod size_classes;
 mod span;
 mod thread_cache;

@@ -1,36 +1,38 @@
-//! Per-thread allocation caches.
+//! Per-thread allocation handle.
 //!
-//! The tcmalloc fast path: each thread owns a small free list per size
-//! class and only touches the (locked) central lists to move [`BATCH`]
-//! objects at a time. Workload threads each hold one `ThreadCache`, so the
-//! common malloc/free takes no lock at all — important because the paper's
-//! scalability results (Figure 10) assume the *allocator* scales and only
-//! the detector is under test.
+//! Historically this type *was* the tcmalloc fast path — it owned the
+//! per-class free lists. The caching has since moved into the heap itself
+//! as TLS magazines (see [`crate::magazine`]), where every caller gets it,
+//! not just code holding a `ThreadCache`. The type remains as the
+//! per-thread handle the workload layer threads around: it pins the heap
+//! `Arc`, and dropping (or flushing) it drains the calling thread's
+//! magazines back to the central lists, preserving the old "drop returns
+//! everything" contract.
 
 use dangsan_vmem::Addr;
 use std::sync::Arc;
 
-use crate::heap::{Heap, ReallocOutcome, BATCH};
-use crate::size_classes::class_for_size;
+use crate::heap::{Heap, ReallocOutcome};
 use crate::{AllocError, Allocation, FreeInfo};
 
-/// A thread's private cache of free objects.
+/// A thread's allocation handle.
 ///
 /// Not `Sync`; create one per worker thread with [`ThreadCache::new`].
-/// Dropping the cache flushes everything back to the central lists.
+/// Dropping the cache flushes this thread's magazines back to the central
+/// lists.
 pub struct ThreadCache {
     heap: Arc<Heap>,
-    lists: Vec<Vec<Addr>>,
+    // TLS magazines are !Send state conceptually owned by this handle.
+    _not_send: core::marker::PhantomData<*const ()>,
 }
 
 impl ThreadCache {
-    /// Creates an empty cache bound to `heap`.
+    /// Creates a handle bound to `heap`.
     pub fn new(heap: Arc<Heap>) -> ThreadCache {
-        let lists = crate::size_classes::classes()
-            .iter()
-            .map(|_| Vec::new())
-            .collect();
-        ThreadCache { heap, lists }
+        ThreadCache {
+            heap,
+            _not_send: core::marker::PhantomData,
+        }
     }
 
     /// The heap this cache feeds from.
@@ -38,85 +40,25 @@ impl ThreadCache {
         &self.heap
     }
 
-    /// Allocates `size` bytes; identical semantics to [`Heap::malloc`] but
-    /// served from the local cache when possible.
+    /// Allocates `size` bytes; identical semantics to [`Heap::malloc`],
+    /// which itself serves small sizes from this thread's magazine.
     pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
-        let internal = size.checked_add(1).ok_or(AllocError::BadSize)?;
-        let Some(class) = class_for_size(internal) else {
-            // Large allocations always go to the page heap.
-            return self.heap.malloc(size);
-        };
-        let list = &mut self.lists[class.id as usize];
-        if list.is_empty() {
-            self.heap.central_pop(class, BATCH, list)?;
-        }
-        let base = list.pop().expect("refill yields at least one object");
-        let span = self
-            .heap
-            .registry()
-            .lookup(base)
-            .expect("cached object has a span");
-        let idx = span.object_index(base).expect("cached object in span");
-        let fresh = span.mark_allocated(idx);
-        debug_assert!(fresh);
-        self.heap
-            .stats
-            .mallocs
-            .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
-        self.heap
-            .stats
-            .requested_bytes
-            .fetch_add(size, core::sync::atomic::Ordering::Relaxed);
-        Ok(Allocation {
-            base,
-            requested: size,
-            usable: span.stride - 1,
-            span_start: span.start,
-            span_pages: span.pages,
-            stride: span.stride,
-            shift: span.shift,
-        })
+        self.heap.malloc(size)
     }
 
     /// Frees the object at `addr`; identical semantics to [`Heap::free`].
     pub fn free(&mut self, addr: Addr) -> Result<FreeInfo, AllocError> {
-        let (span, info) = self.heap.release(addr)?;
-        if span.large {
-            // Large spans bypass the cache (as in tcmalloc).
-            return {
-                // Re-insert into the page-heap pool via the slow path the
-                // heap already implements: release() has already cleared
-                // the bit, so just pool the span.
-                self.heap.pool_large(span);
-                Ok(info)
-            };
-        }
-        let class_id = class_for_size(span.stride)
-            .expect("span stride is a class size")
-            .id as usize;
-        let list = &mut self.lists[class_id];
-        list.push(addr);
-        if list.len() > 2 * BATCH {
-            self.heap.central_push(class_id as u32, list, BATCH);
-        }
-        Ok(info)
+        self.heap.free(addr)
     }
 
-    /// Realloc through the cache; move-path malloc/free use the cache too.
+    /// Realloc; the move path's malloc/free use this thread's magazine.
     pub fn realloc(&mut self, addr: Addr, new_size: u64) -> Result<ReallocOutcome, AllocError> {
-        // Delegate to the heap: the in-place decision and the copy are
-        // identical; the only difference would be which free list the old
-        // object lands on, which does not affect semantics.
         self.heap.realloc(addr, new_size)
     }
 
-    /// Flushes all cached objects back to the central lists.
+    /// Flushes this thread's magazines back to the central lists.
     pub fn flush(&mut self) {
-        for (class_id, list) in self.lists.iter_mut().enumerate() {
-            if !list.is_empty() {
-                self.heap.central_push(class_id as u32, list, 0);
-            }
-        }
+        self.heap.flush_thread_cache();
     }
 }
 
@@ -144,7 +86,7 @@ mod tests {
         let a = tc.malloc(40).unwrap();
         tc.free(a.base).unwrap();
         let b = tc.malloc(40).unwrap();
-        assert_eq!(a.base, b.base, "LIFO reuse from local cache");
+        assert_eq!(a.base, b.base, "LIFO reuse from local magazine");
         tc.free(b.base).unwrap();
     }
 
@@ -167,7 +109,11 @@ mod tests {
             let a = tc.malloc(16).unwrap();
             base = a.base;
             tc.free(a.base).unwrap();
-            // Cache dropped here, flushing.
+            tc.flush();
+            assert_eq!(heap.magazine_blocks(), 0, "flush empties the magazines");
+            // Allocate through the locked path so the flushed block cannot
+            // hide in a refilled magazine while we search for it.
+            heap.set_thread_cached(false);
         }
         // The object must now be allocatable through the central path.
         let mut seen = false;
@@ -211,6 +157,7 @@ mod tests {
                 .load(core::sync::atomic::Ordering::Relaxed),
             heap.stats.frees.load(core::sync::atomic::Ordering::Relaxed)
         );
+        assert_eq!(heap.magazine_blocks(), 0, "joined threads drained");
     }
 
     #[test]

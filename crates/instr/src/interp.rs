@@ -435,10 +435,7 @@ mod tests {
         let main = prog.func_by_name("main").unwrap();
         assert_eq!(m.run(&prog, main, &[4, 2]), Ok(Some(42)));
         // Arity mismatches are structural errors, not UB.
-        assert!(matches!(
-            m.run(&prog, main, &[1]),
-            Err(Trap::BadProgram(_))
-        ));
+        assert!(matches!(m.run(&prog, main, &[1]), Err(Trap::BadProgram(_))));
     }
 
     #[test]

@@ -432,7 +432,8 @@ impl MetaPageTable {
         let left = cache.hits_left.get() - 1;
         if left == 0 {
             if cache.batch_owner.get() == self.identity {
-                self.cache_hits.fetch_add(HIT_FLUSH_EVERY, Ordering::Relaxed);
+                self.cache_hits
+                    .fetch_add(HIT_FLUSH_EVERY, Ordering::Relaxed);
             }
             cache.hits_left.set(HIT_FLUSH_EVERY);
         } else {
@@ -653,8 +654,8 @@ mod tests {
         t.register_span(HEAP_BASE, 2, 6);
         t.set_object(HEAP_BASE, 64, 1); // page 0
         t.set_object(HEAP_BASE + PAGE_SIZE, 64, 2); // page 1
-        // Warm both pages' translations, then drain the pending batch so
-        // the counters below are exact.
+                                                    // Warm both pages' translations, then drain the pending batch so
+                                                    // the counters below are exact.
         for _ in 0..10 {
             assert_eq!(t.lookup(HEAP_BASE), Some(1));
             assert_eq!(t.lookup(HEAP_BASE + PAGE_SIZE), Some(2));

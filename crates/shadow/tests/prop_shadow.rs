@@ -36,7 +36,11 @@ fn tiled_span_resolves_exactly() {
         let mut addr = HEAP_BASE;
         while addr < HEAP_BASE + objects * stride {
             let expect = (addr - HEAP_BASE) / stride + 1;
-            assert_eq!(t.lookup(addr), Some(expect), "shift {shift} stride {stride}");
+            assert_eq!(
+                t.lookup(addr),
+                Some(expect),
+                "shift {shift} stride {stride}"
+            );
             addr += step;
         }
         // Clearing one object leaves its neighbours intact.

@@ -8,9 +8,7 @@
 //! were invalidated, only the event rings can say which free produced
 //! *this* dangling pointer.
 
-use crate::{
-    unpack_pages, unpack_site, unpack_size, unpack_walked, Event, EventCode, Tracer,
-};
+use crate::{unpack_pages, unpack_site, unpack_size, unpack_walked, Event, EventCode, Tracer};
 
 /// DangSan's invalidation bit; a faulting address with it set is a
 /// neutralised dangling pointer (mirrors `dangsan_vmem::INVALID_BIT`,
@@ -114,11 +112,7 @@ pub fn uaf_report_with(tracer: &Tracer, fault_addr: u64, trail: usize) -> Option
     let mut trail_events = Vec::new();
     if let Some(fe) = fault_ev {
         if let Some(snap) = snaps.iter().find(|s| s.thread == fe.thread) {
-            let upto: Vec<&Event> = snap
-                .events
-                .iter()
-                .filter(|e| e.seq <= fe.seq)
-                .collect();
+            let upto: Vec<&Event> = snap.events.iter().filter(|e| e.seq <= fe.seq).collect();
             let skip = upto.len().saturating_sub(trail);
             trail_events = upto[skip..].iter().map(|e| **e).collect();
         }

@@ -421,11 +421,7 @@ impl Tracer {
 
     /// All readable events across all rings, in timestamp order.
     pub fn events(&self) -> Vec<Event> {
-        let mut all: Vec<Event> = self
-            .snapshot()
-            .into_iter()
-            .flat_map(|s| s.events)
-            .collect();
+        let mut all: Vec<Event> = self.snapshot().into_iter().flat_map(|s| s.events).collect();
         all.sort_by_key(|e| (e.ts, e.thread, e.seq));
         all
     }
@@ -717,7 +713,11 @@ mod tests {
         t.span_end(s, EventCode::FreeSweep, 7, pack_sweep(3, 1));
         let events = tracer.events();
         assert_eq!(events.len(), 1);
-        assert!(events[0].c >= 1_000_000, "duration captured: {}", events[0].c);
+        assert!(
+            events[0].c >= 1_000_000,
+            "duration captured: {}",
+            events[0].c
+        );
         assert_eq!(unpack_walked(events[0].b), 3);
         // Below-level spans cost nothing and record nothing.
         let quiet = Trace::new();

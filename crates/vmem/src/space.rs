@@ -1021,8 +1021,8 @@ mod tests {
         let b = AddressSpace::new();
         a.map(HEAP_BASE, PAGE_SIZE).unwrap();
         a.write_word(HEAP_BASE, 1).unwrap(); // warm A's translation
-        // Same thread, same page number, different space: must fault, not
-        // hit A's cached page.
+                                             // Same thread, same page number, different space: must fault, not
+                                             // hit A's cached page.
         assert_eq!(
             b.read_word(HEAP_BASE).unwrap_err().kind,
             FaultKind::Unmapped
@@ -1143,16 +1143,23 @@ mod tests {
         for i in 0..(PAGE_SIZE / 8) {
             mem.write_word(HEAP_BASE + i * 8, i + 500).unwrap();
         }
-        mem.copy(HEAP_BASE + 8, HEAP_BASE + 3 * PAGE_SIZE - 256, PAGE_SIZE - 8)
-            .unwrap();
+        mem.copy(
+            HEAP_BASE + 8,
+            HEAP_BASE + 3 * PAGE_SIZE - 256,
+            PAGE_SIZE - 8,
+        )
+        .unwrap();
         for i in 0..((PAGE_SIZE - 8) / 8) {
             assert_eq!(
-                mem.read_word(HEAP_BASE + 3 * PAGE_SIZE - 256 + i * 8).unwrap(),
+                mem.read_word(HEAP_BASE + 3 * PAGE_SIZE - 256 + i * 8)
+                    .unwrap(),
                 i + 501
             );
         }
         // Faults carry the first failing address, as before batching.
-        let err = mem.zero(HEAP_BASE + 3 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap_err();
+        let err = mem
+            .zero(HEAP_BASE + 3 * PAGE_SIZE, 2 * PAGE_SIZE)
+            .unwrap_err();
         assert_eq!(err.kind, FaultKind::Unmapped);
         assert_eq!(err.addr, HEAP_BASE + 4 * PAGE_SIZE);
         assert_eq!(

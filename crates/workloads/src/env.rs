@@ -38,12 +38,29 @@ impl DetectorKind {
     pub fn thread_safe(&self) -> bool {
         !matches!(self, DetectorKind::FreeSentry)
     }
+
+    /// The detector `Config` this kind carries, if any. Kinds without one
+    /// (baseline, comparators) run on the default allocator settings.
+    fn config(&self) -> Option<&Config> {
+        match self {
+            DetectorKind::DangSan(cfg) | DetectorKind::DangSanLocked(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Applies this kind's allocator-side settings to a fresh heap.
+    fn configure_heap(&self, heap: &Heap) {
+        if let Some(cfg) = self.config() {
+            heap.set_thread_cached(cfg.thread_cached_heap);
+        }
+    }
 }
 
 /// A fresh single-threaded environment (any detector kind).
 pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
     let mem = Arc::new(AddressSpace::new());
     let heap = Heap::new(Arc::clone(&mem));
+    kind.configure_heap(&heap);
     let det: Arc<dyn Detector> = match kind {
         DetectorKind::Baseline => Arc::new(NullDetector),
         DetectorKind::DangSan(cfg) => DangSan::new(Arc::clone(&mem), cfg),
@@ -65,6 +82,7 @@ pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
 pub fn shared_env(kind: DetectorKind) -> HookedHeap<dyn Detector + Send + Sync> {
     let mem = Arc::new(AddressSpace::new());
     let heap = Heap::new(Arc::clone(&mem));
+    kind.configure_heap(&heap);
     let det: Arc<dyn Detector + Send + Sync> = match kind {
         DetectorKind::Baseline => Arc::new(NullDetector),
         DetectorKind::DangSan(cfg) => DangSan::new(Arc::clone(&mem), cfg),
@@ -116,5 +134,19 @@ mod tests {
     #[should_panic(expected = "multithreaded")]
     fn shared_env_rejects_freesentry() {
         let _ = shared_env(DetectorKind::FreeSentry);
+    }
+
+    #[test]
+    fn thread_cached_heap_flag_reaches_the_heap() {
+        let on = shared_env(DetectorKind::DangSan(Config::default()));
+        assert!(on.heap().thread_cached());
+        let off = shared_env(DetectorKind::DangSan(
+            Config::default().with_thread_cached_heap(false),
+        ));
+        assert!(!off.heap().thread_cached());
+        let locked = local_env(DetectorKind::DangSanLocked(
+            Config::default().with_thread_cached_heap(false),
+        ));
+        assert!(!locked.heap().thread_cached());
     }
 }

@@ -23,4 +23,6 @@ pub mod spec;
 
 pub use cost::{calibrate, CostModel};
 pub use env::{local_env, shared_env, DetectorKind};
+pub use profiles::ServerProfile;
+pub use server::{run_server, ServerResult};
 pub use spec::{run_spec, RunResult};

@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dangsan::{Detector, HookedHeap};
-use dangsan_vmem::Addr;
 use dangsan_vmem::rng::SmallRng;
+use dangsan_vmem::Addr;
 
 use crate::cost::spin;
 use crate::profiles::ServerProfile;

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dangsan::{Detector, HookedHeap, StatsSnapshot};
-use dangsan_vmem::{Addr, BumpSegment, GLOBALS_BASE, STACKS_BASE};
 use dangsan_vmem::rng::SmallRng;
+use dangsan_vmem::{Addr, BumpSegment, GLOBALS_BASE, STACKS_BASE};
 
 use crate::cost::spin;
 use crate::profiles::SpecProfile;

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Lint the committed BENCH_*.json baselines (no cargo, shell + awk only —
+# runs in seconds, called from scripts/verify.sh and CI).
+#
+# Usage: scripts/check_baselines.sh
+#
+# Fails if:
+#   - BENCH_hotpath.json is missing, unparsable, missing any of the eight
+#     gated benches, or locks in a sub-1.0x speedup on a core bench
+#     (registerptr, ptr2obj, malloc_free, invalidate),
+#   - BENCH_scaling.json is missing, unparsable, or missing its derived
+#     figures / recorded core count,
+#   - the committed scaling numbers miss their floors. The 4t/1t floor is
+#     keyed on the baseline's own recorded "cores" value, because a
+#     1-core machine cannot honestly show a 4-thread speedup:
+#       cores >= 4  ->  4t/1t >= 1.8   (the paper-shape claim)
+#       cores 2..3  ->  4t/1t >= 0.9   (must not collapse under threads)
+#       cores == 1  ->  4t/1t >= 0.7   (oversubscription must stay cheap)
+#     Override with VERIFY_SCALING_MIN=<float>. The thread-cached
+#     allocator must also hold >= 0.95x the locked path at 1 thread
+#     (override with VERIFY_SCALING_LOCKED_MIN).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+HOTPATH_BENCHES="registerptr ptr2obj malloc_free invalidate \
+                 free_many_ptrs free_many_objs free_while_reg trace_off"
+CORE_BENCHES="registerptr ptr2obj malloc_free invalidate"
+
+status=0
+
+# Extract the first numeric value following a quoted key from a pretty-
+# printed JSON file (our hand-rolled writer emits one key per line).
+# Usage: num_of FILE KEY [SECTION] — with SECTION, start matching only
+# after the section key has been seen.
+num_of() {
+    awk -v key="\"$2\"" -v section="\"${3-}\"" '
+        section != "\"\"" && index($0, section) { in_section = 1 }
+        (section == "\"\"" || in_section) && index($0, key) {
+            for (i = 1; i <= NF; i++) if (index($i, key)) {
+                v = $(i + 1); gsub(/[",]/, "", v); print v; exit
+            }
+        }
+    ' "$1"
+}
+
+require_file() {
+    if [[ ! -f "$1" ]]; then
+        echo "check_baselines: FAIL — no committed $1; regenerate it:" >&2
+        echo "    $2" >&2
+        return 1
+    fi
+}
+
+check_num() {
+    # check_num FILE LABEL VALUE FLOOR — VALUE must parse and be >= FLOOR.
+    awk -v file="$1" -v label="$2" -v v="$3" -v floor="$4" 'BEGIN {
+        if (v == "" || v + 0 != v) {
+            printf "check_baselines: FAIL — %s has no parsable %s (got \x27%s\x27)\n", file, label, v
+            exit 1
+        }
+        if (v + 0 < floor + 0) {
+            printf "check_baselines: FAIL — %s: %s = %.3f below floor %.3f\n", file, label, v, floor
+            exit 1
+        }
+        printf "check_baselines: %-32s OK — %.3f >= %.3f (%s)\n", label, v, floor, file
+    }'
+}
+
+# --- BENCH_hotpath.json ---------------------------------------------------
+hotpath=BENCH_hotpath.json
+require_file "$hotpath" "cargo run --release -p dangsan-bench --bin hotpath" || status=1
+if [[ -f "$hotpath" ]]; then
+    for bench in $HOTPATH_BENCHES; do
+        v=$(num_of "$hotpath" speedup "$bench")
+        check_num "$hotpath" "$bench.speedup" "$v" 0 || status=1
+    done
+    for bench in $CORE_BENCHES; do
+        v=$(num_of "$hotpath" speedup "$bench")
+        check_num "$hotpath" "$bench.speedup" "$v" 1.0 || status=1
+    done
+fi
+
+# --- BENCH_scaling.json ---------------------------------------------------
+scaling=BENCH_scaling.json
+require_file "$scaling" "cargo run --release -p dangsan-bench --bin scaling" || status=1
+if [[ -f "$scaling" ]]; then
+    cores=$(num_of "$scaling" cores)
+    check_num "$scaling" "cores" "$cores" 1 || status=1
+    if [[ -n "${VERIFY_SCALING_MIN-}" ]]; then
+        floor4=$VERIFY_SCALING_MIN
+    else
+        floor4=$(awk -v c="${cores:-0}" 'BEGIN {
+            if (c >= 4) print 1.8; else if (c >= 2) print 0.9; else print 0.7
+        }')
+    fi
+    v=$(num_of "$scaling" dangsan_speedup_4t_over_1t)
+    check_num "$scaling" "dangsan_speedup_4t_over_1t" "$v" "$floor4" || status=1
+    v=$(num_of "$scaling" cached_over_locked_1t)
+    check_num "$scaling" "cached_over_locked_1t" "$v" \
+        "${VERIFY_SCALING_LOCKED_MIN:-0.95}" || status=1
+    v=$(num_of "$scaling" dangsan_parallel_efficiency_4t)
+    check_num "$scaling" "dangsan_parallel_efficiency_4t" "$v" \
+        "$(awk -v f="$floor4" 'BEGIN { print f / 4 }')" || status=1
+fi
+
+[[ $status -eq 0 ]] || exit 1
+echo "check_baselines: all baselines OK"

@@ -6,8 +6,7 @@
 use std::sync::Arc;
 
 use dangsan_suite::dangsan::{
-    current_thread_id, forensics, set_alloc_site, Config, DangSan, Detector, EventCode,
-    TraceLevel,
+    current_thread_id, forensics, set_alloc_site, Config, DangSan, Detector, EventCode, TraceLevel,
 };
 use dangsan_suite::heap::Heap;
 use dangsan_suite::vmem::{AddressSpace, FaultKind, INVALID_BIT};
@@ -66,7 +65,11 @@ fn uaf_trap_is_attributed_to_the_right_free() {
 
     // The trap: following any of the invalidated pointers faults.
     let dangling = mem.read_word(holder.base + 16).expect("load");
-    assert_eq!(dangling & INVALID_BIT, INVALID_BIT, "pointer was invalidated");
+    assert_eq!(
+        dangling & INVALID_BIT,
+        INVALID_BIT,
+        "pointer was invalidated"
+    );
     let fault = mem.read_word(dangling).expect_err("deref must trap");
     assert_eq!(fault.kind, FaultKind::NonCanonical);
 
