@@ -212,9 +212,9 @@ mod tests {
     fn is_not_sync() {
         // The compile-time encoding of "cannot support multithreaded
         // programs": FreeSentry must never satisfy `Sync`.
-        fn assert_not_sync<T: ?Sized>()
+        fn assert_not_sync<T>()
         where
-            T: NotSyncProbe,
+            T: ?Sized + NotSyncProbe,
         {
         }
         trait NotSyncProbe {}

@@ -22,9 +22,15 @@ pub struct DangSanLocked {
 
 impl DangSanLocked {
     /// Creates the locked variant with the given configuration.
+    ///
+    /// The deferred sweep is forced off: this wrapper does not forward
+    /// `defers_free`, so a hooked heap would release blocks normally
+    /// while the inner detector's sweep later requeued them a second
+    /// time — double-listing the block. The ablation measures locking,
+    /// not quarantine, so synchronous sweeps are the right shape anyway.
     pub fn new(mem: Arc<AddressSpace>, cfg: Config) -> Arc<DangSanLocked> {
         Arc::new(DangSanLocked {
-            inner: DangSan::new(mem, cfg),
+            inner: DangSan::new(mem, cfg.with_deferred_sweep(false)),
             lock: Mutex::new(()),
         })
     }

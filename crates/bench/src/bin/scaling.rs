@@ -2,7 +2,12 @@
 //!
 //! Drives the mixed malloc/registerptr/free server workload
 //! (`dangsan_workloads::run_server`, nginx-like profile) across 1/2/4/N
-//! worker threads for three arms:
+//! worker threads, *fixed total work per cell* (strong scaling, the
+//! paper's SPEC-style methodology): every thread count serves the same
+//! number of requests, so `speedup_vs_1t` is a textbook speedup. Scaling
+//! requests with the worker count instead (weak scaling) quadruples the
+//! retained connection-pool live set at 4 threads and the "speedup"
+//! mostly measures the bigger working set, not the detector. Three arms:
 //!
 //! * `baseline` — detector off (NullDetector), allocator thread-cached;
 //! * `dangsan` — detector on, allocator thread-cached (the shipping
@@ -15,8 +20,11 @@
 //! Emits `BENCH_scaling.json` with per-thread-count throughput, parallel
 //! efficiency, and the recorded core count — the gates in
 //! `scripts/verify.sh` / `scripts/check_baselines.sh` key their floors on
-//! `cores`, because a 1-core container cannot honestly show a 4-thread
-//! speedup no matter how scalable the allocator is.
+//! `cores`, because a 1-core container cannot show a real 4-thread
+//! speedup no matter how scalable the allocator is. (A time-sliced ratio
+//! slightly above 1.0 is possible even so: with the work split four
+//! ways, each worker touches a quarter of the connection pool, so each
+//! scheduler slice runs against a smaller working set.)
 //!
 //! Usage:
 //!
@@ -26,7 +34,7 @@
 
 use dangsan::Config;
 use dangsan_bench::report::Json;
-use dangsan_workloads::{run_server, DetectorKind, ServerProfile};
+use dangsan_workloads::{run_server, sweep_env_overrides, DetectorKind, ServerProfile};
 
 /// Worker-count sweep: the paper's 1/2/4 plus the machine's full core
 /// count when it is larger.
@@ -43,12 +51,37 @@ fn cores() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// The three measured arms.
-const ARMS: &[(&str, fn() -> DetectorKind)] = &[
-    ("baseline", || DetectorKind::Baseline),
-    ("dangsan", || DetectorKind::DangSan(Config::default())),
-    ("locked", || {
-        DetectorKind::DangSan(Config::default().with_thread_cached_heap(false))
+/// Sweep configuration shared by both detector arms: deferred, zero
+/// helper threads, caps tight enough that backpressure drains run inside
+/// the measured region and keep the block-recycling loop closed. Zero
+/// helpers because frees stay O(1) until the cap trips and the drain
+/// then runs in bounded batches on the freeing thread — the scalable
+/// shape without handing a small machine's scheduler the bill. The caps
+/// are fixed (not scaled by worker count): measured head-to-head, a
+/// small fixed quarantine beats a per-thread budget at every thread
+/// count, because draining soon after the free walks log chains and
+/// shadow lines while they are still cache-hot — freshness is worth
+/// more than rarer backpressure trips. `SWEEP_THREADS` /
+/// `DEFERRED_SWEEP` override the mode for matrix runs.
+fn detector_config(_workers: usize) -> Config {
+    sweep_env_overrides(
+        Config::default()
+            .with_deferred_sweep(true)
+            .with_sweep_threads(0)
+            .with_quarantine_caps(256 << 10, 256),
+    )
+}
+
+/// The three measured arms. The detector arms differ ONLY in the
+/// allocator (`thread_cached_heap`), so `cached_over_locked_1t` isolates
+/// the TLS magazines; the sweep knobs come from [`detector_config`] for
+/// both.
+type Arm = fn(usize) -> DetectorKind;
+const ARMS: &[(&str, Arm)] = &[
+    ("baseline", |_| DetectorKind::Baseline),
+    ("dangsan", |w| DetectorKind::DangSan(detector_config(w))),
+    ("locked", |w| {
+        DetectorKind::DangSan(detector_config(w).with_thread_cached_heap(false))
     }),
 ];
 
@@ -79,7 +112,15 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_scaling.json".to_string());
 
-    let (reps, req_per_thread) = if quick { (3, 6_000u64) } else { (5, 20_000u64) };
+    // Full mode takes 7 interleaved passes: the per-cell figure is a
+    // best-of, and on a shared box the max of a noisy sample needs more
+    // draws to sit near the distribution's right edge than a mean would.
+    // `req_total` is the fixed per-cell work (see the module docs).
+    let (reps, req_total) = if quick {
+        (3, 24_000u64)
+    } else {
+        (7, 80_000u64)
+    };
     let counts = thread_counts();
     let cores = cores();
     eprintln!(
@@ -98,15 +139,15 @@ fn main() {
     doc.set("quick", Json::Bool(quick));
     doc.set("cores", Json::Num(cores as f64));
     let mut arms_json = Json::obj();
-    // rps[arm][thread-count], best of `reps` interleaved passes: each rep
-    // visits every (arm, count) cell once before any cell repeats, so load
-    // drift hits all cells alike instead of whichever ran last.
+    // rps[arm][thread-count], best of `reps` interleaved passes. Arms
+    // alternate per cell (rep -> count -> arm, the hotpath pairing): the
+    // arms a ratio divides run back to back under the same load, so a
+    // drifting box skews a cell's absolute numbers but barely its ratios.
     let mut rps = vec![vec![0f64; counts.len()]; ARMS.len()];
     for rep in 0..reps {
-        for (a, (_, kind)) in ARMS.iter().enumerate() {
-            for (c, &workers) in counts.iter().enumerate() {
-                let requests = req_per_thread * workers as u64;
-                let r = run_once(kind(), workers, requests, 0x5ca1e ^ rep as u64);
+        for (c, &workers) in counts.iter().enumerate() {
+            for (a, (_, kind)) in ARMS.iter().enumerate() {
+                let r = run_once(kind(workers), workers, req_total, 0x5ca1e ^ rep as u64);
                 if r > rps[a][c] {
                     rps[a][c] = r;
                 }

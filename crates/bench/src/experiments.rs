@@ -478,10 +478,8 @@ pub fn effectiveness() -> String {
         DetectorKind::DangNull,
     ];
     let mut table = Table::new(&["scenario", "baseline", "dangsan", "freesentry", "dangnull"]);
-    let scenarios: [(
-        &str,
-        fn(&dangsan::HookedHeap<dyn dangsan::Detector>) -> exploits::Outcome,
-    ); 3] = [
+    type Scenario = fn(&dangsan::HookedHeap<dyn dangsan::Detector>) -> exploits::Outcome;
+    let scenarios: [(&str, Scenario); 3] = [
         (
             "CVE-2010-2939 double free (OpenSSL)",
             exploits::openssl_double_free,

@@ -72,6 +72,28 @@ pub trait Detector {
         let _ = (dst, len);
     }
 
+    /// Whether `on_free` defers its invalidation sweep (quarantining the
+    /// block) instead of completing it before returning. A hooked heap
+    /// must keep deferred-freed blocks out of circulation until
+    /// [`Detector::drain`] — it does so by quarantining them in the
+    /// allocator and letting the detector's sweep retire them. Default:
+    /// `false` (the synchronous paper behaviour).
+    fn defers_free(&self) -> bool {
+        false
+    }
+
+    /// Blocks until every deferred sweep enqueued so far has retired
+    /// (quarantined blocks requeued, all counters exact). No-op for
+    /// synchronous detectors.
+    fn drain(&self) {}
+
+    /// Hands the detector the heap it is hooked in front of, so a
+    /// deferred sweep can requeue quarantined blocks when it retires.
+    /// Called once by `HookedHeap::new`; default: ignore it.
+    fn bind_heap(&self, heap: &std::sync::Arc<dangsan_heap::Heap>) {
+        let _ = heap;
+    }
+
     /// Current statistics (Table 1 counters).
     fn stats(&self) -> StatsSnapshot;
 

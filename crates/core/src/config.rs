@@ -49,6 +49,25 @@ pub struct Config {
     /// scaling benchmark compares against. Allocation placement differs
     /// between the two paths; detector behaviour does not.
     pub thread_cached_heap: bool,
+    /// Defer the free-time invalidation sweep off the freeing thread:
+    /// `on_free` retires the object's epoch, detaches its logs, and
+    /// enqueues a sweep job on the sharded quarantine queue, returning
+    /// after O(1) bookkeeping. The block stays quarantined in the heap
+    /// (unallocatable) until its sweep retires it. Off (the default)
+    /// keeps the synchronous sweep. Counters and reports are exact
+    /// after [`crate::DangSan::drain`] / detector drop either way.
+    pub deferred_sweep: bool,
+    /// Helper threads draining the sweep queue when `deferred_sweep` is
+    /// on. `0` spawns none: jobs sit quarantined until backpressure or
+    /// an explicit drain runs them — the deterministic mode the
+    /// quarantine tests use. Ignored when `deferred_sweep` is off.
+    pub sweep_threads: usize,
+    /// Quarantine byte cap: once the estimated bytes held by pending
+    /// sweep jobs exceed this, the freeing thread help-drains inline
+    /// (backpressure) so memory stays bounded.
+    pub quarantine_max_bytes: u64,
+    /// Quarantine object-count cap, same backpressure trigger.
+    pub quarantine_max_objects: u64,
     /// Flight-recorder capture level. `Off` (the default) costs one
     /// relaxed load + branch at each record site — and the registration
     /// fast path has no record sites at all. `Lifecycles` captures what
@@ -70,6 +89,10 @@ impl Default for Config {
             hot_path_caches: true,
             page_batched_free: true,
             thread_cached_heap: true,
+            deferred_sweep: false,
+            sweep_threads: 2,
+            quarantine_max_bytes: 64 << 20,
+            quarantine_max_objects: 256 * 1024,
             trace_level: TraceLevel::Off,
         }
     }
@@ -123,6 +146,25 @@ impl Config {
         self
     }
 
+    /// Returns a copy with the deferred free sweep toggled.
+    pub fn with_deferred_sweep(mut self, on: bool) -> Self {
+        self.deferred_sweep = on;
+        self
+    }
+
+    /// Returns a copy with a different sweep helper-thread count.
+    pub fn with_sweep_threads(mut self, n: usize) -> Self {
+        self.sweep_threads = n;
+        self
+    }
+
+    /// Returns a copy with different quarantine backpressure caps.
+    pub fn with_quarantine_caps(mut self, max_bytes: u64, max_objects: u64) -> Self {
+        self.quarantine_max_bytes = max_bytes;
+        self.quarantine_max_objects = max_objects;
+        self
+    }
+
     /// Returns a copy with a different flight-recorder capture level.
     pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
@@ -143,6 +185,7 @@ mod tests {
         assert!(!c.hook_memcpy, "the paper did not implement the hook");
         assert!(c.thread_cached_heap, "tcmalloc base caches per thread");
         assert_eq!(c.trace_level, TraceLevel::Off, "tracing is an opt-in");
+        assert!(!c.deferred_sweep, "the paper sweeps synchronously at free");
     }
 
     #[test]

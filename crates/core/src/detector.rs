@@ -1,15 +1,20 @@
 //! The DangSan detector: pointer tracker + pointer logger + invalidation.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::ptr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
 
-use dangsan_heap::Allocation;
+use dangsan_heap::{Allocation, Heap};
 use dangsan_shadow::MetaPageTable;
-use dangsan_trace::{forensics, pack_size_site, pack_sweep, EventCode, Trace, TraceLevel, Tracer};
+use dangsan_trace::{
+    forensics, pack_size_site, pack_sweep_mode, EventCode, Trace, TraceLevel, Tracer,
+    SWEEP_MODE_BACKPRESSURE, SWEEP_MODE_DEFERRED, SWEEP_MODE_INLINE, SWEEP_MODE_STOLEN,
+};
 use dangsan_vmem::{
-    Addr, AddressSpace, CasOutcome, FaultKind, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SIZE,
+    Addr, AddressSpace, CasOutcome, FaultKind, PageRef, HEAP_BASE, HEAP_SIZE, INVALID_BIT,
+    PAGE_SIZE,
 };
 
 use crate::api::{Detector, InvalidationReport};
@@ -18,6 +23,7 @@ use crate::log::ThreadLog;
 use crate::object::{fresh_epoch, ObjectMeta};
 use crate::pool::{Pool, ScratchPool};
 use crate::stats::{Hot, Stats, StatsSnapshot};
+use crate::sweep::{LogChain, MetaRef, ObjectSweep, SweepBatch, SweepJob, SweepQueue, SPLIT_PAGES};
 
 /// This thread's stable small integer id.
 ///
@@ -26,6 +32,11 @@ use crate::stats::{Hot, Stats, StatsSnapshot};
 /// Lives in `dangsan-trace` (re-exported here unchanged) so flight
 /// recorder events and detector logs agree on thread identity.
 pub use dangsan_trace::current_thread_id;
+
+/// Jobs a backpressure drain pops per shard-lock acquisition (mirrors
+/// `heap::magazine`'s refill `BATCH`: amortize the lock without holding
+/// it across the sweeps themselves).
+const BACKPRESSURE_BATCH: usize = 32;
 
 /// Entries in the per-thread last-object → log cache (power of two).
 ///
@@ -213,6 +224,15 @@ pub struct DangSan {
     /// (once attached) the tracer; with `Config::trace_level` at `Off`
     /// every record site is a relaxed load + untaken branch.
     trace: Trace,
+    /// The deferred-sweep quarantine queue; `Some` exactly when
+    /// `Config::deferred_sweep` is on.
+    sweep: Option<Arc<SweepQueue>>,
+    /// Sweep helper threads, joined when the detector drops.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The heap this detector is hooked in front of (set by
+    /// [`Detector::bind_heap`]); a retiring sweep requeues its
+    /// quarantined block here.
+    heap: Mutex<Weak<Heap>>,
 }
 
 impl DangSan {
@@ -230,7 +250,13 @@ impl DangSan {
             map.set_tracer(&tracer);
             mem.set_tracer(&tracer);
         }
-        Arc::new(DangSan {
+        let sweep = cfg.deferred_sweep.then(|| {
+            Arc::new(SweepQueue::new(
+                cfg.quarantine_max_bytes,
+                cfg.quarantine_max_objects,
+            ))
+        });
+        let det = Arc::new(DangSan {
             mem,
             map,
             cfg,
@@ -241,7 +267,22 @@ impl DangSan {
             scratch: ScratchPool::new(),
             id: fresh_detector_id(),
             trace,
-        })
+            sweep: sweep.clone(),
+            workers: Mutex::new(Vec::new()),
+            heap: Mutex::new(Weak::new()),
+        });
+        if let Some(queue) = sweep {
+            // Workers hold only a Weak: they cannot keep a dropped
+            // detector alive, and an upgrade failure is their signal that
+            // the final inline drain has taken over.
+            let mut workers = det.workers.lock().expect("not poisoned");
+            for _ in 0..cfg.sweep_threads {
+                let weak = Arc::downgrade(&det);
+                let queue = Arc::clone(&queue);
+                workers.push(std::thread::spawn(move || sweep_worker(weak, queue)));
+            }
+        }
+        det
     }
 
     /// The flight recorder created by [`DangSan::new`], when
@@ -454,8 +495,10 @@ impl DangSan {
         })
     }
 
-    /// Invalidates one logged location, classifying the outcome.
-    fn invalidate_location(&self, meta: &ObjectMeta, loc: Addr, report: &mut InvalidationReport) {
+    /// Invalidates one logged location, classifying the outcome into the
+    /// report. The cold stats counters are added in bulk by the caller
+    /// once the whole walk has run ([`DangSan::account_report`]).
+    fn invalidate_location(&self, lo: Addr, hi: Addr, loc: Addr, report: &mut InvalidationReport) {
         match self.mem.read_word(loc) {
             Err(fault) => {
                 debug_assert_eq!(fault.kind, FaultKind::Unmapped);
@@ -463,31 +506,409 @@ impl DangSan {
                 // popped thread stack): the paper catches SIGSEGV here and
                 // skips the location.
                 report.skipped_unmapped += 1;
-                Stats::bump(&self.stats.sigsegv_skips);
             }
             Ok(value) => {
-                if meta.in_range(value) {
+                if value >= lo && value <= hi {
                     // CAS so a pointer concurrently overwritten by another
                     // thread is never clobbered (§4.4). Setting only the
                     // MSB keeps the address recoverable for debugging and
                     // keeps pointer arithmetic on freed pointers working.
                     match self.mem.cas_word(loc, value, value | INVALID_BIT) {
-                        Ok(CasOutcome::Stored) => {
-                            report.invalidated += 1;
-                            Stats::bump(&self.stats.ptrs_invalidated);
-                        }
-                        Ok(CasOutcome::Conflict { .. }) | Err(_) => {
-                            // Lost the race: the program overwrote the
-                            // location first; nothing to invalidate.
-                            report.stale += 1;
-                            Stats::bump(&self.stats.stale_ptrs);
-                        }
+                        Ok(CasOutcome::Stored) => report.invalidated += 1,
+                        // Lost the race: the program overwrote the
+                        // location first; nothing to invalidate.
+                        Ok(CasOutcome::Conflict { .. }) | Err(_) => report.stale += 1,
                     }
                 } else {
                     report.stale += 1;
-                    Stats::bump(&self.stats.stale_ptrs);
                 }
             }
+        }
+    }
+
+    /// Invalidates one page's sorted, deduped location run against the
+    /// inclusive object range `[lo, hi]`, coalescing adjacent slots:
+    /// locations 8 bytes apart become one [`PageRef::invalidate_run`]
+    /// masked loop (one bounds computation per run) instead of a
+    /// translated CAS per slot. Classification is identical per word.
+    fn invalidate_page_run(
+        &self,
+        page: &PageRef<'_>,
+        run: &[Addr],
+        lo: Addr,
+        hi: Addr,
+        report: &mut InvalidationReport,
+    ) {
+        let mut i = 0;
+        while i < run.len() {
+            let mut j = i + 1;
+            while j < run.len() && run[j] == run[j - 1] + 8 {
+                j += 1;
+            }
+            let (invalidated, stale) = page.invalidate_run(run[i], j - i, lo, hi, INVALID_BIT);
+            report.invalidated += invalidated;
+            report.stale += stale;
+            i = j;
+        }
+    }
+
+    /// Walks one page-run of the sorted location buffer: translate the
+    /// page once, then invalidate its (coalesced) slots; an unmapped
+    /// page is one fault for the run, counted per location for report
+    /// compatibility with the paper's per-slot SIGSEGV skip.
+    fn sweep_page_run(&self, run: &[Addr], lo: Addr, hi: Addr, report: &mut InvalidationReport) {
+        if self.cfg.page_batched_free {
+            match self.mem.with_page(run[0]) {
+                Err(fault) => {
+                    debug_assert_eq!(fault.kind, FaultKind::Unmapped);
+                    report.skipped_unmapped += run.len() as u64;
+                }
+                Ok(page) => self.invalidate_page_run(&page, run, lo, hi, report),
+            }
+        } else {
+            // Ablation path: identical location set and classification,
+            // but one full translation per location.
+            for &loc in run {
+                self.invalidate_location(lo, hi, loc, report);
+            }
+        }
+    }
+
+    /// Adds a finished walk's outcome to the cold counters in one bulk
+    /// update per counter (the per-location RMWs this replaces were a
+    /// measurable slice of free-heavy workloads).
+    fn account_report(&self, report: &InvalidationReport) {
+        for (counter, n) in [
+            (&self.stats.ptrs_invalidated, report.invalidated),
+            (&self.stats.stale_ptrs, report.stale),
+            (&self.stats.sigsegv_skips, report.skipped_unmapped),
+        ] {
+            if n > 0 {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The deferred `on_free` tail: O(1) bookkeeping, no log walk.
+    ///
+    /// Detaches the object's log chain (the sweep becomes its sole
+    /// owner), snapshots the range the invalidation will check, and
+    /// enqueues the walk. Even the shadow teardown and the record's
+    /// recycling ride along with the job — the retiring sweep does both
+    /// just before it requeues the block. The heap has already
+    /// quarantined the block, so nothing can allocate inside
+    /// `[base, end]` until then — which is what makes both the deferred
+    /// teardown and running the range check against a snapshot (instead
+    /// of the live record) sound.
+    fn defer_free(&self, meta: &ObjectMeta, base: Addr, obj_id: u64) -> InvalidationReport {
+        let queue = self.sweep.as_ref().expect("deferred mode is on");
+        let logs = LogChain(meta.head.swap(ptr::null_mut(), Ordering::AcqRel));
+        let lo = meta.base.load(Ordering::Acquire);
+        let hi = meta.end.load(Ordering::Acquire);
+        let covered = meta.covered.load(Ordering::Acquire);
+        debug_assert_eq!(lo, base, "frees resolve to the block base");
+        Stats::bump(&self.stats.objects_freed);
+        Stats::bump(&self.stats.frees_deferred);
+        // The quarantine charge: the object's checked range is within a
+        // byte of its block size, close enough for backpressure.
+        let bytes = hi.saturating_sub(lo).max(1);
+        let (pending, pending_bytes) = queue.push_object(ObjectSweep {
+            base: lo,
+            end: hi,
+            obj_id,
+            bytes,
+            covered,
+            meta: MetaRef(meta),
+            logs,
+        });
+        self.trace.record(
+            TraceLevel::Full,
+            EventCode::SweepEnqueue,
+            obj_id,
+            pending,
+            pending_bytes,
+        );
+        // Backpressure: past either quarantine cap the freeing thread
+        // help-drains — down to the low-water mark, not just below the
+        // cap, so the help is a batch of sweeps (amortising the queue
+        // round-trips) rather than a one-in-one-out lockstep. A mutator
+        // can never outrun the sweepers without paying for it. Pops are
+        // batched (one shard lock per batch, not per job), home shard
+        // first so a thread sweeps mostly its own objects, stealing only
+        // when its shard runs dry — without the steal a thread whose
+        // backlog lives in another shard would spin on `over_cap` while
+        // never draining anything.
+        if queue.over_cap() {
+            let mut batch = Vec::with_capacity(BACKPRESSURE_BATCH);
+            while queue.above_low_water() {
+                let stolen =
+                    queue.pop_batch(SweepQueue::home_shard(), BACKPRESSURE_BATCH, &mut batch);
+                if batch.is_empty() {
+                    break;
+                }
+                Stats::add(&self.stats.sweep_steals, stolen);
+                for job in batch.drain(..) {
+                    Stats::bump(&self.stats.sweeps_backpressure);
+                    self.run_sweep_job(job, SWEEP_MODE_BACKPRESSURE);
+                }
+            }
+        }
+        // The walk has not run yet: the report is empty by contract, and
+        // the outcome lands in the stats when the sweep retires.
+        InvalidationReport::default()
+    }
+
+    /// Runs one popped sweep job to completion (`mode` tags the trace
+    /// span with how the job reached this thread).
+    fn run_sweep_job(&self, job: SweepJob, mode: u64) {
+        match job {
+            SweepJob::Object(obj) => self.run_object_sweep(obj, mode),
+            SweepJob::Part(batch, start, end) => self.run_part_sweep(&batch, start, end, mode),
+        }
+    }
+
+    /// The deferred twin of the inline free walk: drain the detached
+    /// chain, sort + dedup, and invalidate page by page — or, when the
+    /// walk spans more than [`SPLIT_PAGES`] page runs, split it into
+    /// page-aligned parts so one giant object cannot stall a sweeper
+    /// (idle helpers steal the parts and share the walk).
+    fn run_object_sweep(&self, obj: ObjectSweep, mode: u64) {
+        let mut locs = self.scratch.take();
+        let mut cur = obj.logs.0;
+        while !cur.is_null() {
+            // SAFETY: the chain was detached from its record with a
+            // `swap`, making this sweep its sole owner; logs are
+            // pool-owned type-stable memory.
+            let log = unsafe { &*cur };
+            log.for_each_location(|loc| locs.push(loc));
+            let next = log.next.load(Ordering::Acquire);
+            log.reset();
+            self.log_pool.recycle(log);
+            cur = next;
+        }
+        let walked = locs.len() as u64;
+        locs.sort_unstable();
+        locs.dedup();
+        let unique = locs.len() as u64;
+        // Count the page runs first: the common small sweep (at most
+        // [`SPLIT_PAGES`] runs) goes straight to the single-part walk
+        // below and never allocates a boundary list.
+        let mut runs = 0usize;
+        let mut i = 0;
+        while i < locs.len() {
+            let page_base = locs[i] & !(PAGE_SIZE - 1);
+            let mut j = i + 1;
+            while j < locs.len() && locs[j] & !(PAGE_SIZE - 1) == page_base {
+                j += 1;
+            }
+            runs += 1;
+            i = j;
+        }
+        if runs > SPLIT_PAGES {
+            // Page-run boundaries (indices into `locs` where a new page
+            // starts), grouped [`SPLIT_PAGES`] runs per part.
+            let mut boundaries = vec![0usize];
+            let mut runs_in_part = 0usize;
+            let mut i = 0;
+            while i < locs.len() {
+                let page_base = locs[i] & !(PAGE_SIZE - 1);
+                let mut j = i + 1;
+                while j < locs.len() && locs[j] & !(PAGE_SIZE - 1) == page_base {
+                    j += 1;
+                }
+                runs_in_part += 1;
+                if runs_in_part == SPLIT_PAGES {
+                    boundaries.push(j);
+                    runs_in_part = 0;
+                }
+                i = j;
+            }
+            if *boundaries.last().expect("seeded with 0") != locs.len() {
+                boundaries.push(locs.len());
+            }
+            let parts = boundaries.len() - 1;
+            let batch = Arc::new(SweepBatch {
+                locs: std::mem::take(&mut locs),
+                base: obj.base,
+                end: obj.end,
+                obj_id: obj.obj_id,
+                bytes: obj.bytes,
+                covered: obj.covered,
+                meta: obj.meta,
+                walked,
+                remaining: AtomicUsize::new(parts),
+                invalidated: AtomicU64::new(0),
+                stale: AtomicU64::new(0),
+                skipped: AtomicU64::new(0),
+                pages: AtomicU64::new(0),
+            });
+            self.scratch.recycle(locs); // the emptied buffer goes back
+            let queue = self.sweep.as_ref().expect("split sweeps are deferred");
+            self.stats
+                .sweep_splits
+                .fetch_add((parts - 1) as u64, Ordering::Relaxed);
+            for part in 1..parts {
+                queue.push_part(Arc::clone(&batch), boundaries[part], boundaries[part + 1]);
+            }
+            // Run the first slice here; the last part to finish retires
+            // the object.
+            self.run_part_sweep(&batch, boundaries[0], boundaries[1], mode);
+            return;
+        }
+        let span = self.trace.span_start(TraceLevel::Full);
+        let mut report = InvalidationReport::default();
+        let mut pages = 0u64;
+        let mut i = 0;
+        while i < locs.len() {
+            let page_base = locs[i] & !(PAGE_SIZE - 1);
+            let mut j = i + 1;
+            while j < locs.len() && locs[j] & !(PAGE_SIZE - 1) == page_base {
+                j += 1;
+            }
+            pages += 1;
+            self.sweep_page_run(&locs[i..j], obj.base, obj.end, &mut report);
+            i = j;
+        }
+        self.scratch.recycle(locs);
+        self.trace.span_end(
+            span,
+            EventCode::FreeSweep,
+            obj.obj_id,
+            pack_sweep_mode(walked, pages, mode),
+        );
+        self.finish_sweep(
+            SweepRetire {
+                base: obj.base,
+                obj_id: obj.obj_id,
+                bytes: obj.bytes,
+                covered: obj.covered,
+                meta: obj.meta,
+            },
+            SweepShape {
+                walked,
+                unique,
+                pages,
+            },
+            &report,
+        );
+    }
+
+    /// Invalidates one page-aligned slice `[start, end)` of a split
+    /// sweep's sorted location buffer, folding the outcome into the
+    /// shared batch. The part that empties `remaining` retires the
+    /// object with the accumulated totals.
+    fn run_part_sweep(&self, batch: &Arc<SweepBatch>, start: usize, end: usize, mode: u64) {
+        let span = self.trace.span_start(TraceLevel::Full);
+        let locs = &batch.locs[start..end];
+        let mut report = InvalidationReport::default();
+        let mut pages = 0u64;
+        let mut i = 0;
+        while i < locs.len() {
+            let page_base = locs[i] & !(PAGE_SIZE - 1);
+            let mut j = i + 1;
+            while j < locs.len() && locs[j] & !(PAGE_SIZE - 1) == page_base {
+                j += 1;
+            }
+            pages += 1;
+            self.sweep_page_run(&locs[i..j], batch.base, batch.end, &mut report);
+            i = j;
+        }
+        self.trace.span_end(
+            span,
+            EventCode::FreeSweep,
+            batch.obj_id,
+            pack_sweep_mode(locs.len() as u64, pages, mode),
+        );
+        batch
+            .invalidated
+            .fetch_add(report.invalidated, Ordering::AcqRel);
+        batch.stale.fetch_add(report.stale, Ordering::AcqRel);
+        batch
+            .skipped
+            .fetch_add(report.skipped_unmapped, Ordering::AcqRel);
+        batch.pages.fetch_add(pages, Ordering::AcqRel);
+        if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let report = InvalidationReport {
+                invalidated: batch.invalidated.load(Ordering::Acquire),
+                stale: batch.stale.load(Ordering::Acquire),
+                skipped_unmapped: batch.skipped.load(Ordering::Acquire),
+            };
+            self.finish_sweep(
+                SweepRetire {
+                    base: batch.base,
+                    obj_id: batch.obj_id,
+                    bytes: batch.bytes,
+                    covered: batch.covered,
+                    meta: batch.meta,
+                },
+                SweepShape {
+                    walked: batch.walked,
+                    unique: batch.locs.len() as u64,
+                    pages: batch.pages.load(Ordering::Acquire),
+                },
+                &report,
+            );
+        }
+    }
+
+    /// Retires one swept object: bulk-adds its counters (identical
+    /// values to the inline walk's), records the lifecycle event, tears
+    /// down the shadow mapping and recycles the metadata record (both
+    /// deferred off the free hook), hands the quarantined block back to
+    /// the heap, and releases the quarantine charge. The teardown must
+    /// precede the requeue — a reallocation of this range must find
+    /// cleared shadow slots, not the dying record — and the requeue must
+    /// precede the charge drop: once `pending` hits zero a
+    /// [`DangSan::drain`] may return, and its contract is that every
+    /// quarantined block is circulating again.
+    fn finish_sweep(&self, retire: SweepRetire, shape: SweepShape, report: &InvalidationReport) {
+        self.account_report(report);
+        self.stats.bump_hot_by(&[
+            (Hot::FreeLocsWalked, shape.walked),
+            (Hot::FreeDupLocs, shape.walked - shape.unique),
+            (Hot::FreePagesTouched, shape.pages),
+            (Hot::free_hist_bucket(shape.walked), 1),
+        ]);
+        self.trace.record(
+            TraceLevel::Lifecycles,
+            EventCode::ObjectFree,
+            retire.base,
+            retire.obj_id,
+            report.invalidated,
+        );
+        // SAFETY: records are pool-owned type-stable memory, and from
+        // detach to retire this sweep was the record's sole owner.
+        let meta = unsafe { &*retire.meta.0 };
+        self.map.clear_object(retire.base, retire.covered);
+        self.meta_pool.recycle(meta);
+        if let Some(heap) = self.heap.lock().expect("not poisoned").upgrade() {
+            heap.requeue_batch(&[retire.base]);
+        }
+        if let Some(queue) = self.sweep.as_ref() {
+            queue.retire_object(retire.bytes);
+        }
+    }
+
+    /// Blocks until every deferred sweep enqueued so far has retired,
+    /// helping to drain the queue from the calling thread (so `drain`
+    /// works even with `Config::sweep_threads` at zero). After this
+    /// returns, all counters are exact and every quarantined block is
+    /// allocatable again. No-op in synchronous mode.
+    pub fn drain(&self) {
+        let Some(queue) = self.sweep.as_ref() else {
+            return;
+        };
+        loop {
+            if let Some((job, _)) = queue.pop(SweepQueue::home_shard()) {
+                self.run_sweep_job(job, SWEEP_MODE_INLINE);
+                continue;
+            }
+            if queue.pending() == 0 {
+                return;
+            }
+            // Jobs are in flight on the helpers: wait for a retire (or
+            // for a split part to land back in the queue).
+            queue.wait_for_retire_or_work();
         }
     }
 
@@ -495,6 +916,87 @@ impl DangSan {
     /// the shadow tables; see [`Detector::metadata_bytes`]).
     pub fn pool_bytes(&self) -> u64 {
         self.meta_pool.bytes() + self.log_pool.bytes() + self.extra_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// The shape counters of one finished walk (Hot::Free* bookkeeping).
+struct SweepShape {
+    walked: u64,
+    unique: u64,
+    pages: u64,
+}
+
+/// Identity and teardown handles of one retiring sweep.
+struct SweepRetire {
+    base: Addr,
+    obj_id: u64,
+    bytes: u64,
+    covered: u64,
+    meta: MetaRef,
+}
+
+/// A sweep helper thread: pops jobs — stealing from the other shards
+/// when its home shard is dry — and runs them against a weak detector
+/// reference. An upgrade failure means the detector is mid-drop and its
+/// final inline drain owns the queue: the job goes back and the worker
+/// exits.
+fn sweep_worker(det: Weak<DangSan>, queue: Arc<SweepQueue>) {
+    let home = SweepQueue::home_shard();
+    loop {
+        match queue.pop(home) {
+            Some((job, stolen)) => {
+                let Some(det) = det.upgrade() else {
+                    queue.push_back(job);
+                    return;
+                };
+                if stolen {
+                    Stats::bump(&det.stats.sweep_steals);
+                }
+                let mode = if stolen {
+                    SWEEP_MODE_STOLEN
+                } else {
+                    SWEEP_MODE_DEFERRED
+                };
+                det.run_sweep_job(job, mode);
+            }
+            None => {
+                if queue.stopping() {
+                    return;
+                }
+                queue.wait_for_work();
+            }
+        }
+    }
+}
+
+impl Drop for DangSan {
+    fn drop(&mut self) {
+        let Some(queue) = self.sweep.clone() else {
+            return;
+        };
+        // Stop the helpers, finish whatever is still quarantined inline,
+        // then join. A worker's transient upgrade can make it the thread
+        // running this drop — joining every handle but our own covers
+        // that case (the skipped worker exits right after).
+        queue.request_stop();
+        loop {
+            match queue.pop(SweepQueue::home_shard()) {
+                Some((job, _)) => self.run_sweep_job(job, SWEEP_MODE_INLINE),
+                None => {
+                    if queue.pending() == 0 {
+                        break;
+                    }
+                    queue.wait_for_retire_or_work();
+                }
+            }
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("not poisoned"));
+        let me = std::thread::current().id();
+        for handle in workers {
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -529,6 +1031,14 @@ impl Detector for DangSan {
     fn on_free(&self, base: Addr) -> InvalidationReport {
         let mut report = InvalidationReport::default();
         let Some(meta) = self.ptr2obj_cold(base) else {
+            // With deferred sweeping the heap quarantined the block before
+            // calling in; an untracked base enqueues no sweep job, so the
+            // block must re-enter circulation here or it would leak.
+            if self.cfg.deferred_sweep {
+                if let Some(heap) = self.heap.lock().expect("not poisoned").upgrade() {
+                    heap.requeue_batch(&[base]);
+                }
+            }
             return report;
         };
         // Retire this object's epoch before any of its logs are detached
@@ -546,6 +1056,13 @@ impl Detector for DangSan {
             new_epoch,
             0,
         );
+        if self.sweep.is_some() {
+            // Deferred mode: O(1) bookkeeping, then hand the walk to the
+            // sweep subsystem. The report is all zeros — the outcome
+            // lands in the stats once the sweep retires (exact after
+            // [`DangSan::drain`]).
+            return self.defer_free(meta, base, obj_id);
+        }
         let sweep = self.trace.span_start(TraceLevel::Full);
         // Drain every tier of every thread's log into one pooled scratch
         // buffer (no host allocation in steady state)...
@@ -568,6 +1085,8 @@ impl Detector for DangSan {
         // locations in one contiguous run, so one translation serves the
         // whole run — and an unmapped page is discovered once, not once
         // per location.
+        let lo = meta.base.load(Ordering::Acquire);
+        let hi = meta.end.load(Ordering::Acquire);
         let mut pages = 0u64;
         let mut i = 0;
         while i < locs.len() {
@@ -577,54 +1096,10 @@ impl Detector for DangSan {
                 j += 1;
             }
             pages += 1;
-            let run = &locs[i..j];
-            if self.cfg.page_batched_free {
-                match self.mem.with_page(run[0]) {
-                    Err(fault) => {
-                        debug_assert_eq!(fault.kind, FaultKind::Unmapped);
-                        // The memory holding the pointers was released
-                        // (e.g. a popped thread stack): the paper catches
-                        // SIGSEGV here and skips — counted per location
-                        // for report compatibility, paid once per page.
-                        report.skipped_unmapped += run.len() as u64;
-                        self.stats
-                            .sigsegv_skips
-                            .fetch_add(run.len() as u64, Ordering::Relaxed);
-                    }
-                    Ok(page) => {
-                        for &loc in run {
-                            let value = page.read_word(loc);
-                            if meta.in_range(value) {
-                                // CAS so a pointer concurrently overwritten
-                                // by another thread is never clobbered
-                                // (§4.4). Setting only the MSB keeps the
-                                // address recoverable for debugging.
-                                match page.cas_word(loc, value, value | INVALID_BIT) {
-                                    CasOutcome::Stored => {
-                                        report.invalidated += 1;
-                                        Stats::bump(&self.stats.ptrs_invalidated);
-                                    }
-                                    CasOutcome::Conflict { .. } => {
-                                        report.stale += 1;
-                                        Stats::bump(&self.stats.stale_ptrs);
-                                    }
-                                }
-                            } else {
-                                report.stale += 1;
-                                Stats::bump(&self.stats.stale_ptrs);
-                            }
-                        }
-                    }
-                }
-            } else {
-                // Ablation path: identical location set and classification,
-                // but one full translation per location.
-                for &loc in run {
-                    self.invalidate_location(meta, loc, &mut report);
-                }
-            }
+            self.sweep_page_run(&locs[i..j], lo, hi, &mut report);
             i = j;
         }
+        self.account_report(&report);
         self.stats.bump_hot_by(&[
             (Hot::FreeLocsWalked, walked),
             (Hot::FreeDupLocs, walked - unique),
@@ -635,7 +1110,7 @@ impl Detector for DangSan {
             sweep,
             EventCode::FreeSweep,
             obj_id,
-            pack_sweep(walked, pages),
+            pack_sweep_mode(walked, pages, SWEEP_MODE_INLINE),
         );
         self.scratch.recycle(locs);
         // Tear down: clear the shadow mapping, then recycle logs and meta.
@@ -734,6 +1209,18 @@ impl Detector for DangSan {
                 }
             }
         }
+    }
+
+    fn defers_free(&self) -> bool {
+        self.cfg.deferred_sweep
+    }
+
+    fn drain(&self) {
+        DangSan::drain(self);
+    }
+
+    fn bind_heap(&self, heap: &Arc<Heap>) {
+        *self.heap.lock().expect("not poisoned") = Arc::downgrade(heap);
     }
 
     fn stats(&self) -> StatsSnapshot {

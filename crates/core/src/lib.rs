@@ -70,6 +70,7 @@ pub mod log;
 pub mod object;
 pub mod pool;
 pub mod stats;
+pub(crate) mod sweep;
 
 pub use api::{Detector, InvalidationReport, NullDetector};
 pub use config::{Config, EMBEDDED_ENTRIES};

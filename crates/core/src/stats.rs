@@ -165,6 +165,16 @@ pub struct Stats {
     pub logs_created: AtomicU64,
     /// Indirect (overflow) log blocks allocated.
     pub indirect_blocks: AtomicU64,
+    /// Frees whose invalidation sweep was enqueued on the deferred
+    /// quarantine queue instead of running inline.
+    pub frees_deferred: AtomicU64,
+    /// Deferred sweeps executed inline by a freeing thread because the
+    /// quarantine hit its byte/object cap (backpressure).
+    pub sweeps_backpressure: AtomicU64,
+    /// Deferred sweeps a helper thread stole from a non-home shard.
+    pub sweep_steals: AtomicU64,
+    /// Page-wise sub-tasks spawned beyond the first for large sweeps.
+    pub sweep_splits: AtomicU64,
     /// The per-store counters (see [`Hot`]), batched per thread.
     hot: Arc<HotShared>,
     /// Never-reused identity of `hot` for the thread-local batches.
@@ -182,6 +192,10 @@ impl Default for Stats {
             sigsegv_skips: AtomicU64::new(0),
             logs_created: AtomicU64::new(0),
             indirect_blocks: AtomicU64::new(0),
+            frees_deferred: AtomicU64::new(0),
+            sweeps_backpressure: AtomicU64::new(0),
+            sweep_steals: AtomicU64::new(0),
+            sweep_splits: AtomicU64::new(0),
             hot: Arc::new(HotShared::default()),
             hot_id: NEXT_STATS_ID.fetch_add(1, Ordering::Relaxed),
         }
@@ -233,6 +247,14 @@ pub struct StatsSnapshot {
     pub free_pages_touched: u64,
     /// See [`Hot::FreeDupLocs`].
     pub free_dup_locs: u64,
+    /// See [`Stats::frees_deferred`].
+    pub frees_deferred: u64,
+    /// See [`Stats::sweeps_backpressure`].
+    pub sweeps_backpressure: u64,
+    /// See [`Stats::sweep_steals`].
+    pub sweep_steals: u64,
+    /// See [`Stats::sweep_splits`].
+    pub sweep_splits: u64,
     /// Per-free histogram of locations drained: buckets 0, 1–8, 9–64,
     /// 65–512, >512 (see [`Hot::FreeHistEmpty`] and friends). Sums to
     /// `objects_freed` for frees that went through the walk.
@@ -283,6 +305,10 @@ impl Stats {
             free_locs_walked: h(Hot::FreeLocsWalked),
             free_pages_touched: h(Hot::FreePagesTouched),
             free_dup_locs: h(Hot::FreeDupLocs),
+            frees_deferred: l(&self.frees_deferred),
+            sweeps_backpressure: l(&self.sweeps_backpressure),
+            sweep_steals: l(&self.sweep_steals),
+            sweep_splits: l(&self.sweep_splits),
             free_locs_hist: [
                 h(Hot::FreeHistEmpty),
                 h(Hot::FreeHistSmall),
@@ -297,6 +323,15 @@ impl Stats {
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed bulk-add twin of [`Stats::bump`]; skips the RMW entirely
+    /// for the common zero delta (e.g. a batch pop that stole nothing).
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n != 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Runs `f` with the calling thread's slab for this instance,
@@ -391,6 +426,13 @@ impl StatsSnapshot {
         self.tlb_misses = 0;
         self.ptr2obj_cache_hits = 0;
         self.ptr2obj_cache_misses = 0;
+        // Sweep scheduling (deferred vs inline, steals, splits) is a
+        // placement choice, not behaviour: the invalidation outcome is
+        // identical whichever thread runs the sweep.
+        self.frees_deferred = 0;
+        self.sweeps_backpressure = 0;
+        self.sweep_steals = 0;
+        self.sweep_splits = 0;
         self
     }
 }

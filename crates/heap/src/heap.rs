@@ -508,6 +508,77 @@ impl Heap {
         Ok(info)
     }
 
+    /// Frees the object at `addr` into quarantine: the liveness bit is
+    /// cleared (so a second free still reports `DoubleFree`) and the
+    /// heap's free counter is bumped, but the block is pushed to *no*
+    /// free list — it cannot be handed out by `malloc` again until a
+    /// matching [`Heap::requeue_batch`] retires it. Deferred-sweep
+    /// detectors use this to keep a block out of circulation while its
+    /// invalidation sweep is still in flight, so the object's address
+    /// range can never be recarved (and its range-check snapshot never
+    /// aliased) before the sweep completes.
+    pub fn quarantine(&self, addr: Addr) -> Result<FreeInfo, AllocError> {
+        let (_span, info) = self.release(addr)?;
+        Ok(info)
+    }
+
+    /// Retires a batch of quarantined blocks, making them allocatable
+    /// again. Large spans go back to the reuse pool; small blocks are
+    /// grouped per size class and pushed to the caller's home central
+    /// shard in one lock acquisition per class (the magazine spill
+    /// discipline — a sweep retire must not pay one lock per block).
+    pub fn requeue_batch(&self, addrs: &[Addr]) {
+        // The common caller is a retiring sweep requeuing one block; that
+        // path must not allocate (it sits on the drain's critical path),
+        // so singles go straight to the calling thread's magazine — or
+        // the central shard when the magazine is off or full.
+        if let [addr] = *addrs {
+            let span = self
+                .registry
+                .lookup(addr)
+                .expect("quarantined block's span is registered");
+            if span.large {
+                self.pool_large(span);
+                return;
+            }
+            let class_id = class_for_size(span.stride)
+                .expect("span stride is a class size")
+                .id;
+            if !(self.thread_cached() && magazine::free(self, class_id, addr)) {
+                let shard = magazine::shard_index();
+                self.central[class_id as usize][shard]
+                    .lock()
+                    .expect("not poisoned")
+                    .push(addr);
+            }
+            return;
+        }
+        let shard = magazine::shard_index();
+        let mut by_class: Vec<Vec<Addr>> = vec![Vec::new(); classes().len()];
+        for &addr in addrs {
+            let span = self
+                .registry
+                .lookup(addr)
+                .expect("quarantined block's span is registered");
+            if span.large {
+                self.pool_large(span);
+            } else {
+                let class_id = class_for_size(span.stride)
+                    .expect("span stride is a class size")
+                    .id;
+                by_class[class_id as usize].push(addr);
+            }
+        }
+        for (class_id, blocks) in by_class.iter().enumerate() {
+            if !blocks.is_empty() {
+                self.central[class_id][shard]
+                    .lock()
+                    .expect("not poisoned")
+                    .extend_from_slice(blocks);
+            }
+        }
+    }
+
     /// Resizes the object at `addr` (paper §4.2 semantics).
     ///
     /// In-place when the new size still fits the object's stride; otherwise
@@ -617,6 +688,53 @@ mod tests {
         let a = heap.malloc(64).unwrap();
         heap.free(a.base).unwrap();
         assert_eq!(heap.free(a.base), Err(AllocError::DoubleFree(a.base)));
+    }
+
+    #[test]
+    fn quarantined_block_is_unreachable_until_requeued() {
+        let (_, heap) = setup();
+        // Pin the class's free lists empty so reuse is observable.
+        heap.set_thread_cached(false);
+        let a = heap.malloc(64).unwrap();
+        heap.quarantine(a.base).unwrap();
+        // Quarantine counts as the free for stats and double-free...
+        assert_eq!(heap.quarantine(a.base), Err(AllocError::DoubleFree(a.base)));
+        assert_eq!(heap.free(a.base), Err(AllocError::DoubleFree(a.base)));
+        // ...but the block is on no list: a same-class malloc must carve
+        // elsewhere instead of handing the quarantined address back.
+        let b = heap.malloc(64).unwrap();
+        assert_ne!(a.base, b.base, "quarantined block was recarved");
+        heap.requeue_batch(&[a.base]);
+        let c = heap.malloc(64).unwrap();
+        assert_eq!(a.base, c.base, "requeued block is allocatable again");
+        heap.free(b.base).unwrap();
+        heap.free(c.base).unwrap();
+    }
+
+    #[test]
+    fn requeue_batch_groups_classes_and_large_spans() {
+        let (_, heap) = setup();
+        heap.set_thread_cached(false);
+        let small_a = heap.malloc(64).unwrap();
+        let small_b = heap.malloc(64).unwrap();
+        let other = heap.malloc(300).unwrap();
+        let large = heap.malloc(200 * 1024).unwrap();
+        for a in [&small_a, &small_b, &other, &large] {
+            heap.quarantine(a.base).unwrap();
+        }
+        heap.requeue_batch(&[small_a.base, small_b.base, other.base, large.base]);
+        // Every retired block (including the large span) is reusable.
+        let l2 = heap.malloc(200 * 1024).unwrap();
+        assert_eq!(l2.base, large.base, "large span back in the reuse pool");
+        let o2 = heap.malloc(300).unwrap();
+        assert_eq!(o2.base, other.base);
+        let s1 = heap.malloc(64).unwrap();
+        let s2 = heap.malloc(64).unwrap();
+        let mut got = [s1.base, s2.base];
+        got.sort_unstable();
+        let mut want = [small_a.base, small_b.base];
+        want.sort_unstable();
+        assert_eq!(got, want, "both small blocks retired to the class list");
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub enum EventCode {
     /// The heap carved fresh pages into a span. `a`=span start,
     /// `b`=pages.
     HeapCarve = 10,
+    /// A free's invalidation sweep was enqueued for deferred execution.
+    /// `a`=object id, `b`=jobs pending in the sweep queue after this
+    /// enqueue, `c`=bytes quarantined after this enqueue.
+    SweepEnqueue = 11,
 }
 
 impl EventCode {
@@ -135,6 +139,7 @@ impl EventCode {
             8 => EventCode::SpanRegister,
             9 => EventCode::VmemFault,
             10 => EventCode::HeapCarve,
+            11 => EventCode::SweepEnqueue,
             _ => return None,
         })
     }
@@ -152,6 +157,7 @@ impl EventCode {
             EventCode::SpanRegister => "span_register",
             EventCode::VmemFault => "vmem_fault",
             EventCode::HeapCarve => "heap_carve",
+            EventCode::SweepEnqueue => "sweep_enqueue",
         }
     }
 
@@ -184,20 +190,43 @@ pub fn unpack_site(c: u64) -> u64 {
     (c >> 40) & 0xffff
 }
 
+/// How a free's invalidation sweep was executed, recorded in the top
+/// bits of the [`EventCode::FreeSweep`] `b` payload (see
+/// [`pack_sweep_mode`]).
+pub const SWEEP_MODE_INLINE: u64 = 0;
+/// The sweep ran on a helper thread, pulled from its home shard.
+pub const SWEEP_MODE_DEFERRED: u64 = 1;
+/// The sweep ran on a helper thread that stole it from another shard.
+pub const SWEEP_MODE_STOLEN: u64 = 2;
+/// The sweep ran inline on the freeing thread because the quarantine
+/// cap forced help-draining (backpressure).
+pub const SWEEP_MODE_BACKPRESSURE: u64 = 3;
+
 /// Packs an invalidation sweep's shape into one `b` payload (pages in the
-/// low 24 bits, locations walked above).
+/// low 24 bits, locations walked in the 30 above, execution mode — one of
+/// the `SWEEP_MODE_*` constants — in bits 54–55).
+pub fn pack_sweep_mode(walked: u64, pages: u64, mode: u64) -> u64 {
+    (pages & ((1 << 24) - 1)) | ((walked & ((1 << 30) - 1)) << 24) | ((mode & 0x3) << 54)
+}
+
+/// [`pack_sweep_mode`] with [`SWEEP_MODE_INLINE`].
 pub fn pack_sweep(walked: u64, pages: u64) -> u64 {
-    (pages & ((1 << 24) - 1)) | (walked << 24)
+    pack_sweep_mode(walked, pages, SWEEP_MODE_INLINE)
 }
 
-/// The locations-walked half of [`pack_sweep`].
+/// The locations-walked half of [`pack_sweep_mode`].
 pub fn unpack_walked(b: u64) -> u64 {
-    b >> 24
+    (b >> 24) & ((1 << 30) - 1)
 }
 
-/// The pages half of [`pack_sweep`].
+/// The pages half of [`pack_sweep_mode`].
 pub fn unpack_pages(b: u64) -> u64 {
     b & ((1 << 24) - 1)
+}
+
+/// The execution-mode half of [`pack_sweep_mode`].
+pub fn unpack_sweep_mode(b: u64) -> u64 {
+    (b >> 54) & 0x3
 }
 
 /// One decoded event, as returned by [`Tracer::snapshot`].
@@ -627,6 +656,19 @@ mod tests {
         let b = pack_sweep(100_000, 42);
         assert_eq!(unpack_walked(b), 100_000);
         assert_eq!(unpack_pages(b), 42);
+        assert_eq!(unpack_sweep_mode(b), SWEEP_MODE_INLINE);
+        for mode in [
+            SWEEP_MODE_INLINE,
+            SWEEP_MODE_DEFERRED,
+            SWEEP_MODE_STOLEN,
+            SWEEP_MODE_BACKPRESSURE,
+        ] {
+            let b = pack_sweep_mode(100_000, 42, mode);
+            assert_eq!(unpack_walked(b), 100_000);
+            assert_eq!(unpack_pages(b), 42);
+            assert_eq!(unpack_sweep_mode(b), mode);
+            assert!(b >> C_BITS == 0, "mode bits must stay out of the code byte");
+        }
     }
 
     #[test]

@@ -69,8 +69,8 @@ mod tests {
 
     #[test]
     fn segments_are_disjoint_and_canonical() {
-        assert!(GLOBALS_BASE + GLOBALS_SIZE <= HEAP_BASE);
-        assert!(HEAP_BASE + HEAP_SIZE <= STACKS_BASE);
+        const { assert!(GLOBALS_BASE + GLOBALS_SIZE <= HEAP_BASE) };
+        const { assert!(HEAP_BASE + HEAP_SIZE <= STACKS_BASE) };
         assert!(is_canonical_user(STACKS_BASE + STACKS_SIZE - 1));
         assert!(!is_canonical_user(INVALID_BIT | HEAP_BASE));
     }

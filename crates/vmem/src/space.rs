@@ -253,6 +253,49 @@ impl PageRef<'_> {
             Err(actual) => CasOutcome::Conflict { actual },
         }
     }
+
+    /// Invalidates a run of `count` adjacent word slots starting at
+    /// `first` (8-byte stride, entirely on this page) against the
+    /// inclusive range `[lo, hi]`: the bounds are computed once for the
+    /// whole run, then a straight slice walk sets `bit` into every word
+    /// whose value still lands in the range. Each word keeps individual
+    /// CAS semantics — a value concurrently overwritten by the program
+    /// is never clobbered — but the run pays one index computation and
+    /// no per-word assertions. A word outside the range (or one that
+    /// loses its CAS) counts as stale. Returns `(invalidated, stale)`.
+    pub fn invalidate_run(
+        &self,
+        first: Addr,
+        count: usize,
+        lo: Addr,
+        hi: Addr,
+        bit: u64,
+    ) -> (u64, u64) {
+        debug_assert!(count > 0, "empty run");
+        debug_assert_eq!(first % 8, 0, "unaligned run");
+        debug_assert_eq!(first & !(PAGE_SIZE - 1), self.base, "run start off page");
+        debug_assert_eq!(
+            (first + (count as u64 - 1) * 8) & !(PAGE_SIZE - 1),
+            self.base,
+            "run end off page"
+        );
+        let start = word_index(first);
+        let mut invalidated = 0u64;
+        let mut stale = 0u64;
+        for word in &self.page.words[start..start + count] {
+            let value = word.load(Ordering::Acquire);
+            if lo <= value && value <= hi {
+                match word.compare_exchange(value, value | bit, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => invalidated += 1,
+                    Err(_) => stale += 1,
+                }
+            } else {
+                stale += 1;
+            }
+        }
+        (invalidated, stale)
+    }
 }
 
 /// A sparse simulated 64-bit address space.
@@ -1120,6 +1163,27 @@ mod tests {
                 .kind,
             FaultKind::Unmapped
         );
+    }
+
+    #[test]
+    fn invalidate_run_masks_only_in_range_words() {
+        let mem = AddressSpace::new();
+        mem.map(HEAP_BASE, PAGE_SIZE).unwrap();
+        let bit = 1u64 << 63;
+        let (lo, hi) = (1000u64, 1063u64);
+        // Words: in-range, below, in-range (at hi), above, already-masked.
+        let values = [1000u64, 999, 1063, 1064, 1000 | bit];
+        for (i, v) in values.iter().enumerate() {
+            mem.write_word(HEAP_BASE + i as u64 * 8, *v).unwrap();
+        }
+        let page = mem.with_page(HEAP_BASE).unwrap();
+        let (inv, stale) = page.invalidate_run(HEAP_BASE, values.len(), lo, hi, bit);
+        assert_eq!((inv, stale), (2, 3));
+        assert_eq!(mem.read_word(HEAP_BASE).unwrap(), 1000 | bit);
+        assert_eq!(mem.read_word(HEAP_BASE + 8).unwrap(), 999);
+        assert_eq!(mem.read_word(HEAP_BASE + 16).unwrap(), 1063 | bit);
+        assert_eq!(mem.read_word(HEAP_BASE + 24).unwrap(), 1064);
+        assert_eq!(mem.read_word(HEAP_BASE + 32).unwrap(), 1000 | bit);
     }
 
     #[test]

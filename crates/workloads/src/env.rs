@@ -56,6 +56,30 @@ impl DetectorKind {
     }
 }
 
+/// Environment-variable overrides for the deferred-sweep knobs, the CI
+/// matrix axis: `SWEEP_THREADS=0` forces the synchronous free path,
+/// `SWEEP_THREADS=N` (N > 0) turns the deferred sweep on with N helper
+/// threads, and `DEFERRED_SWEEP=0|1` overrides the mode independently
+/// of the helper count. Unset variables leave `cfg` untouched, so local
+/// runs and committed baselines see exactly the config the caller built.
+///
+/// Perf harnesses (the scaling bench) opt in by calling this on the
+/// configs they build; [`local_env`]/[`shared_env`] deliberately do NOT
+/// apply it, because deferred sweeping changes observable timing (a load
+/// in the quarantine window reads the raw pointer until the sweep runs)
+/// and the detection tests rely on synchronous trap semantics.
+pub fn sweep_env_overrides(mut cfg: Config) -> Config {
+    if let Ok(v) = std::env::var("SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            cfg = cfg.with_sweep_threads(n).with_deferred_sweep(n > 0);
+        }
+    }
+    if let Ok(v) = std::env::var("DEFERRED_SWEEP") {
+        cfg = cfg.with_deferred_sweep(v.trim() != "0");
+    }
+    cfg
+}
+
 /// A fresh single-threaded environment (any detector kind).
 pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
     let mem = Arc::new(AddressSpace::new());
@@ -134,6 +158,36 @@ mod tests {
     #[should_panic(expected = "multithreaded")]
     fn shared_env_rejects_freesentry() {
         let _ = shared_env(DetectorKind::FreeSentry);
+    }
+
+    #[test]
+    fn sweep_env_overrides_follow_the_matrix_variables() {
+        // Single test covering all cases so the env-var mutation never
+        // races another assertion in this binary.
+        std::env::remove_var("SWEEP_THREADS");
+        std::env::remove_var("DEFERRED_SWEEP");
+        let base = Config::default();
+        let cfg = sweep_env_overrides(base);
+        assert_eq!(cfg.deferred_sweep, base.deferred_sweep);
+        assert_eq!(cfg.sweep_threads, base.sweep_threads);
+
+        std::env::set_var("SWEEP_THREADS", "2");
+        let cfg = sweep_env_overrides(Config::default());
+        assert!(cfg.deferred_sweep);
+        assert_eq!(cfg.sweep_threads, 2);
+
+        std::env::set_var("SWEEP_THREADS", "0");
+        let cfg = sweep_env_overrides(Config::default());
+        assert!(!cfg.deferred_sweep);
+        assert_eq!(cfg.sweep_threads, 0);
+
+        std::env::set_var("DEFERRED_SWEEP", "1");
+        let cfg = sweep_env_overrides(Config::default());
+        assert!(cfg.deferred_sweep, "DEFERRED_SWEEP wins over thread count");
+        assert_eq!(cfg.sweep_threads, 0);
+
+        std::env::remove_var("SWEEP_THREADS");
+        std::env::remove_var("DEFERRED_SWEEP");
     }
 
     #[test]

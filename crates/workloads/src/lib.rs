@@ -22,7 +22,7 @@ pub mod server;
 pub mod spec;
 
 pub use cost::{calibrate, CostModel};
-pub use env::{local_env, shared_env, DetectorKind};
+pub use env::{local_env, shared_env, sweep_env_overrides, DetectorKind};
 pub use profiles::ServerProfile;
 pub use server::{run_server, ServerResult};
 pub use spec::{run_spec, RunResult};

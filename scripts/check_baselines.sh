@@ -5,9 +5,12 @@
 # Usage: scripts/check_baselines.sh
 #
 # Fails if:
-#   - BENCH_hotpath.json is missing, unparsable, missing any of the eight
+#   - BENCH_hotpath.json is missing, unparsable, missing any of the nine
 #     gated benches, or locks in a sub-1.0x speedup on a core bench
-#     (registerptr, ptr2obj, malloc_free, invalidate),
+#     (registerptr, ptr2obj, malloc_free, invalidate) or a deferred-free
+#     bench (free_many_objs, free_while_reg — the deferred sweep must
+#     keep mutator-visible free cheaper than the inline walk),
+#   - either BENCH_*.json carries the wrong schema string,
 #   - BENCH_scaling.json is missing, unparsable, or missing its derived
 #     figures / recorded core count,
 #   - the committed scaling numbers miss their floors. The 4t/1t floor is
@@ -24,8 +27,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 HOTPATH_BENCHES="registerptr ptr2obj malloc_free invalidate \
-                 free_many_ptrs free_many_objs free_while_reg trace_off"
+                 free_many_ptrs free_many_objs free_while_reg \
+                 sweep_total trace_off"
 CORE_BENCHES="registerptr ptr2obj malloc_free invalidate"
+# Deferred-free benches: committed with deferred_sweep on, the speedup
+# column is deferred-over-inline on identical free traffic, so anything
+# below 1.0 means the deferred sweep failed to make free cheaper.
+DEFERRED_BENCHES="free_many_objs free_while_reg"
 
 status=0
 
@@ -52,6 +60,24 @@ require_file() {
     fi
 }
 
+check_schema() {
+    # check_schema FILE EXPECTED — the baseline must declare the schema
+    # string its readers (this script, verify.sh awk extraction) parse.
+    local got
+    got=$(awk -v key='"schema"' '
+        index($0, key) {
+            for (i = 1; i <= NF; i++) if (index($i, key)) {
+                v = $(i + 1); gsub(/[",]/, "", v); print v; exit
+            }
+        }
+    ' "$1")
+    if [[ "$got" != "$2" ]]; then
+        echo "check_baselines: FAIL — $1 schema is '${got:-missing}', expected '$2'" >&2
+        return 1
+    fi
+    printf "check_baselines: %-32s OK — %s (%s)\n" "schema" "$got" "$1"
+}
+
 check_num() {
     # check_num FILE LABEL VALUE FLOOR — VALUE must parse and be >= FLOOR.
     awk -v file="$1" -v label="$2" -v v="$3" -v floor="$4" 'BEGIN {
@@ -71,11 +97,12 @@ check_num() {
 hotpath=BENCH_hotpath.json
 require_file "$hotpath" "cargo run --release -p dangsan-bench --bin hotpath" || status=1
 if [[ -f "$hotpath" ]]; then
+    check_schema "$hotpath" "dangsan-hotpath-v1" || status=1
     for bench in $HOTPATH_BENCHES; do
         v=$(num_of "$hotpath" speedup "$bench")
         check_num "$hotpath" "$bench.speedup" "$v" 0 || status=1
     done
-    for bench in $CORE_BENCHES; do
+    for bench in $CORE_BENCHES $DEFERRED_BENCHES; do
         v=$(num_of "$hotpath" speedup "$bench")
         check_num "$hotpath" "$bench.speedup" "$v" 1.0 || status=1
     done
@@ -85,6 +112,7 @@ fi
 scaling=BENCH_scaling.json
 require_file "$scaling" "cargo run --release -p dangsan-bench --bin scaling" || status=1
 if [[ -f "$scaling" ]]; then
+    check_schema "$scaling" "dangsan-scaling-v1" || status=1
     cores=$(num_of "$scaling" cores)
     check_num "$scaling" "cores" "$cores" 1 || status=1
     if [[ -n "${VERIFY_SCALING_MIN-}" ]]; then

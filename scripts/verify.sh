@@ -69,7 +69,8 @@ floor=$(awk -v t="$tol" 'BEGIN { printf "%.3f", 1 - t / 100 }')
 echo "== bench gates: tolerance ${tol}% (current/baseline floor ${floor}) =="
 
 ALL_BENCHES="registerptr ptr2obj malloc_free invalidate \
-             free_many_ptrs free_many_objs free_while_reg trace_off"
+             free_many_ptrs free_many_objs free_while_reg \
+             sweep_total trace_off"
 
 echo "== hotpath --quick =="
 tmp_hotpath=$(mktemp /tmp/hotpath.XXXXXX.json)
