@@ -34,7 +34,9 @@
 
 use dangsan::Config;
 use dangsan_bench::report::Json;
-use dangsan_workloads::{run_server, sweep_env_overrides, DetectorKind, ServerProfile};
+use dangsan_workloads::{
+    run_server, site_policy_env_overrides, sweep_env_overrides, DetectorKind, ServerProfile,
+};
 
 /// Worker-count sweep: the paper's 1/2/4 plus the machine's full core
 /// count when it is larger.
@@ -64,12 +66,12 @@ fn cores() -> usize {
 /// more than rarer backpressure trips. `SWEEP_THREADS` /
 /// `DEFERRED_SWEEP` override the mode for matrix runs.
 fn detector_config(_workers: usize) -> Config {
-    sweep_env_overrides(
+    site_policy_env_overrides(sweep_env_overrides(
         Config::default()
             .with_deferred_sweep(true)
             .with_sweep_threads(0)
             .with_quarantine_caps(256 << 10, 256),
-    )
+    ))
 }
 
 /// The three measured arms. The detector arms differ ONLY in the
@@ -85,9 +87,21 @@ const ARMS: &[(&str, Arm)] = &[
     }),
 ];
 
+/// One cell's measured figures: throughput, the request-latency tail, and
+/// the sweep-queue placement counters (how often an idle shard stole work
+/// and how deep each shard's backlog peaked).
+#[derive(Clone, Copy, Default)]
+struct Cell {
+    rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    sweep_steals: u64,
+    sweep_shard_peaks: [u64; 4],
+}
+
 /// One run: a fresh environment, `workers` threads, `requests` total
-/// requests of nginx-shaped traffic. Returns requests per second.
-fn run_once(kind: DetectorKind, workers: usize, requests: u64, seed: u64) -> f64 {
+/// requests of nginx-shaped traffic.
+fn run_once(kind: DetectorKind, workers: usize, requests: u64, seed: u64) -> Cell {
     let profile = ServerProfile {
         name: "scaling",
         workers,
@@ -99,7 +113,16 @@ fn run_once(kind: DetectorKind, workers: usize, requests: u64, seed: u64) -> f64
         paper_mem: 1.0,
     };
     let hh = dangsan_workloads::shared_env(kind);
-    run_server(&profile, requests, 0, &hh, seed).rps
+    let r = run_server(&profile, requests, 0, &hh, seed);
+    hh.detector().drain();
+    let s = hh.detector().stats();
+    Cell {
+        rps: r.rps,
+        p50_ns: r.p50_ns,
+        p99_ns: r.p99_ns,
+        sweep_steals: s.sweep_steals,
+        sweep_shard_peaks: s.sweep_shard_peaks,
+    }
 }
 
 fn main() {
@@ -143,32 +166,39 @@ fn main() {
     // alternate per cell (rep -> count -> arm, the hotpath pairing): the
     // arms a ratio divides run back to back under the same load, so a
     // drifting box skews a cell's absolute numbers but barely its ratios.
-    let mut rps = vec![vec![0f64; counts.len()]; ARMS.len()];
+    let mut best = vec![vec![Cell::default(); counts.len()]; ARMS.len()];
     for rep in 0..reps {
         for (c, &workers) in counts.iter().enumerate() {
             for (a, (_, kind)) in ARMS.iter().enumerate() {
                 let r = run_once(kind(workers), workers, req_total, 0x5ca1e ^ rep as u64);
-                if r > rps[a][c] {
-                    rps[a][c] = r;
+                if r.rps > best[a][c].rps {
+                    best[a][c] = r;
                 }
             }
         }
     }
     for (a, (name, _)) in ARMS.iter().enumerate() {
-        let one = rps[a][0];
+        let one = best[a][0].rps;
         let mut arm_json = Json::obj();
         for (c, &workers) in counts.iter().enumerate() {
-            let speedup = rps[a][c] / one;
+            let cell_data = best[a][c];
+            let speedup = cell_data.rps / one;
             let efficiency = speedup / workers as f64;
             println!(
                 "{name:<10} {workers:>4} {:>14.0} {speedup:>8.2}x {efficiency:>11.2}",
-                rps[a][c]
+                cell_data.rps
             );
             let mut cell = Json::obj();
             cell.set("threads", Json::Num(workers as f64));
-            cell.set("ops_per_sec", Json::Num(rps[a][c]));
+            cell.set("ops_per_sec", Json::Num(cell_data.rps));
             cell.set("speedup_vs_1t", Json::Num(speedup));
             cell.set("parallel_efficiency", Json::Num(efficiency));
+            cell.set("p50_ns", Json::Num(cell_data.p50_ns as f64));
+            cell.set("p99_ns", Json::Num(cell_data.p99_ns as f64));
+            cell.set("sweep_steals", Json::Num(cell_data.sweep_steals as f64));
+            for (i, &peak) in cell_data.sweep_shard_peaks.iter().enumerate() {
+                cell.set(&format!("sweep_shard_peak_{i}"), Json::Num(peak as f64));
+            }
             arm_json.set(&format!("t{workers}"), cell);
         }
         arms_json.set(name, arm_json);
@@ -183,15 +213,15 @@ fn main() {
     let mut derived = Json::obj();
     derived.set(
         "dangsan_speedup_4t_over_1t",
-        Json::Num(rps[dangsan][idx4] / rps[dangsan][0]),
+        Json::Num(best[dangsan][idx4].rps / best[dangsan][0].rps),
     );
     derived.set(
         "dangsan_parallel_efficiency_4t",
-        Json::Num(rps[dangsan][idx4] / rps[dangsan][0] / 4.0),
+        Json::Num(best[dangsan][idx4].rps / best[dangsan][0].rps / 4.0),
     );
     derived.set(
         "cached_over_locked_1t",
-        Json::Num(rps[dangsan][0] / rps[locked][0]),
+        Json::Num(best[dangsan][0].rps / best[locked][0].rps),
     );
     doc.set("derived", derived);
 

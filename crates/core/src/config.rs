@@ -75,6 +75,24 @@ pub struct Config {
     /// shadow/heap events. [`crate::DangSan::new`] creates and attaches a
     /// tracer when this is not `Off` (see [`crate::DangSan::tracer`]).
     pub trace_level: TraceLevel,
+    /// Enable the per-alloc-site policy router (DESIGN.md §5h): a
+    /// lock-free site-profile table accumulates per-site evidence
+    /// (inbound pointers, lifetimes, prior reports) and each malloc is
+    /// routed to a Thin / Standard / Hardened tracking tier. Off (the
+    /// default) routes everything Standard — exactly today's paths.
+    /// Routing only trades work, never detection: see `crate::policy`.
+    pub site_policy: bool,
+    /// Frees a site must witness — with zero inbound pointers and no
+    /// contradiction or UAF report ever — before its allocations route
+    /// Thin. Higher is more conservative (more warm-up, fewer
+    /// mispredicted frees that fall back to the full path).
+    pub thin_min_frees: u64,
+    /// Hardened-tier reuse delay: in deferred-sweep mode, up to this
+    /// many swept Hardened blocks are pinned in a FIFO before being
+    /// handed back to the allocator, so a dangling pointer to a
+    /// reported site traps for longer. `0` disables pinning. Ignored
+    /// in synchronous mode (Hardened then behaves like Standard).
+    pub hardened_pin_objects: u64,
 }
 
 impl Default for Config {
@@ -94,6 +112,9 @@ impl Default for Config {
             quarantine_max_bytes: 64 << 20,
             quarantine_max_objects: 256 * 1024,
             trace_level: TraceLevel::Off,
+            site_policy: false,
+            thin_min_frees: 64,
+            hardened_pin_objects: 64,
         }
     }
 }
@@ -170,6 +191,24 @@ impl Config {
         self.trace_level = level;
         self
     }
+
+    /// Returns a copy with the per-alloc-site policy router toggled.
+    pub fn with_site_policy(mut self, on: bool) -> Self {
+        self.site_policy = on;
+        self
+    }
+
+    /// Returns a copy with a different Thin-eligibility free floor.
+    pub fn with_thin_min_frees(mut self, frees: u64) -> Self {
+        self.thin_min_frees = frees;
+        self
+    }
+
+    /// Returns a copy with a different Hardened pin-FIFO capacity.
+    pub fn with_hardened_pins(mut self, objects: u64) -> Self {
+        self.hardened_pin_objects = objects;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +225,18 @@ mod tests {
         assert!(c.thread_cached_heap, "tcmalloc base caches per thread");
         assert_eq!(c.trace_level, TraceLevel::Off, "tracing is an opt-in");
         assert!(!c.deferred_sweep, "the paper sweeps synchronously at free");
+        assert!(!c.site_policy, "adaptive routing is an opt-in extension");
+    }
+
+    #[test]
+    fn site_policy_builders() {
+        let c = Config::default()
+            .with_site_policy(true)
+            .with_thin_min_frees(8)
+            .with_hardened_pins(16);
+        assert!(c.site_policy);
+        assert_eq!(c.thin_min_frees, 8);
+        assert_eq!(c.hardened_pin_objects, 16);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::api::{Detector, InvalidationReport};
 use crate::config::Config;
 use crate::log::ThreadLog;
 use crate::object::{fresh_epoch, ObjectMeta};
+use crate::policy::{SitePolicy, Tier};
 use crate::pool::{Pool, ScratchPool};
 use crate::stats::{Hot, Stats, StatsSnapshot};
 use crate::sweep::{LogChain, MetaRef, ObjectSweep, SweepBatch, SweepJob, SweepQueue, SPLIT_PAGES};
@@ -227,6 +228,10 @@ pub struct DangSan {
     /// The deferred-sweep quarantine queue; `Some` exactly when
     /// `Config::deferred_sweep` is on.
     sweep: Option<Arc<SweepQueue>>,
+    /// The per-alloc-site policy router; `Some` exactly when
+    /// `Config::site_policy` is on. With it off, every allocation takes
+    /// today's Standard paths untouched (see `crate::policy`).
+    policy: Option<Arc<SitePolicy>>,
     /// Sweep helper threads, joined when the detector drops.
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// The heap this detector is hooked in front of (set by
@@ -268,6 +273,9 @@ impl DangSan {
             id: fresh_detector_id(),
             trace,
             sweep: sweep.clone(),
+            policy: cfg
+                .site_policy
+                .then(|| Arc::new(SitePolicy::new(cfg.thin_min_frees))),
             workers: Mutex::new(Vec::new()),
             heap: Mutex::new(Weak::new()),
         });
@@ -297,8 +305,21 @@ impl DangSan {
     /// dereference of an invalidated pointer) to the free that produced
     /// it, using the recorded event history. `None` when tracing is off
     /// or no recorded free covers the address.
+    ///
+    /// With the site policy on, the attributed alloc site is fed back
+    /// into the profile table: its future allocations route Hardened
+    /// (full tracking + pinned reuse, see `crate::policy`).
     pub fn uaf_report(&self, fault_addr: u64) -> Option<forensics::UafReport> {
-        forensics::uaf_report(self.trace.tracer()?, fault_addr)
+        let report = forensics::uaf_report(self.trace.tracer()?, fault_addr)?;
+        if let (Some(policy), Some(site)) = (&self.policy, report.alloc_site) {
+            policy.note_uaf(site);
+        }
+        Some(report)
+    }
+
+    /// The site-profile table, when `Config::site_policy` is on.
+    pub fn site_policy(&self) -> Option<&SitePolicy> {
+        self.policy.as_deref()
     }
 
     /// The active configuration.
@@ -386,6 +407,97 @@ impl DangSan {
         }
     }
 
+    /// The lazy Thin→Standard upgrade, called on every `register_ptr`
+    /// slow path: a registration against a Thin-routed object is the
+    /// contradiction of its site's profile, so the object is promoted
+    /// (full tracking from this store on — the registration that
+    /// triggered the promotion proceeds normally right after) and the
+    /// site demoted out of Thin routing. The CAS elects exactly one
+    /// promoting thread; with the policy off, or for Standard/Hardened
+    /// objects, this is one branch (plus one relaxed load).
+    ///
+    /// Cache-hit registration paths need no tier check: a log-cache or
+    /// memo hit proves a prior slow-path registration for this object
+    /// lifetime already ran — and promoted. The check therefore costs
+    /// the fast path nothing.
+    ///
+    /// The `meta` reference may be stale (a racing free recycling the
+    /// record for a new object — the same benign window the registration
+    /// itself has). A misdirected CAS then flips an unrelated new object
+    /// to... nothing: `Thin as u64` only matches if that object was
+    /// itself routed Thin, and demoting it early costs work, never
+    /// detection (Standard tracks strictly more).
+    #[inline]
+    fn maybe_promote(&self, meta: &ObjectMeta) {
+        let Some(policy) = &self.policy else { return };
+        if meta.tier.load(Ordering::Relaxed) != Tier::Thin as u64 {
+            return;
+        }
+        if meta
+            .tier
+            .compare_exchange(
+                Tier::Thin as u64,
+                Tier::Standard as u64,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            let site = meta.site.load(Ordering::Relaxed);
+            policy.demote(site);
+            Stats::bump(&self.stats.thin_promotions);
+            Stats::bump(&self.stats.site_demotions);
+            self.trace.record(
+                TraceLevel::Full,
+                EventCode::SiteDemote,
+                site,
+                meta.epoch.load(Ordering::Relaxed),
+                0,
+            );
+        }
+    }
+
+    /// The Thin-tier free: the object's site history said no pointer is
+    /// ever registered, and the just-detached chain confirmed it (it was
+    /// empty). Epoch retirement already happened in `on_free` — the
+    /// detection-relevant step, it kills every cache slot naming this
+    /// lifetime — so what remains is teardown: shadow clear, record
+    /// recycle, and (in deferred mode) handing the quarantined block
+    /// straight back to the heap, skipping the whole sweep-queue round
+    /// trip. Counter effects are bit-exact with a Standard free that
+    /// drained zero locations: `objects_freed`, the empty histogram
+    /// bucket, and nothing else hot (`frees_thin` is a zeroed-out
+    /// diagnostic, see `StatsSnapshot::behavioural`).
+    fn thin_free(&self, meta: &ObjectMeta, base: Addr, obj_id: u64) -> InvalidationReport {
+        let covered = meta.covered.load(Ordering::Acquire);
+        let site = meta.site.load(Ordering::Relaxed);
+        let lifetime = meta.epoch.load(Ordering::Relaxed).saturating_sub(obj_id);
+        Stats::bump(&self.stats.objects_freed);
+        Stats::bump(&self.stats.frees_thin);
+        self.stats.bump_hot_by(&[(Hot::free_hist_bucket(0), 1)]);
+        if let Some(policy) = &self.policy {
+            policy.note_free(site, 0, false, lifetime);
+        }
+        self.trace.record(
+            TraceLevel::Lifecycles,
+            EventCode::ObjectFree,
+            base,
+            obj_id,
+            0,
+        );
+        self.map.clear_object(base, covered);
+        self.meta_pool.recycle(meta);
+        if self.cfg.deferred_sweep {
+            // No sweep job exists for this free: the block the heap
+            // quarantined before calling in re-enters circulation here
+            // (the untracked-base discipline), or it would leak.
+            if let Some(heap) = self.heap.lock().expect("not poisoned").upgrade() {
+                heap.requeue_batch(&[base]);
+            }
+        }
+        InvalidationReport::default()
+    }
+
     /// The fully cached `register_ptr` path.
     ///
     /// Consults the per-thread registration memo first: a hit means this
@@ -453,6 +565,10 @@ impl DangSan {
                 let Some(meta) = self.ptr2obj(value) else {
                     return;
                 };
+                // A Thin-routed object getting its first registration:
+                // promote before the append so the free path sees the
+                // Standard tier no later than it can see the new log.
+                self.maybe_promote(meta);
                 // Load the epoch before touching the log: if a free runs
                 // concurrently, every slot filled below captures an
                 // already retired epoch and can never validate —
@@ -591,18 +707,23 @@ impl DangSan {
 
     /// The deferred `on_free` tail: O(1) bookkeeping, no log walk.
     ///
-    /// Detaches the object's log chain (the sweep becomes its sole
-    /// owner), snapshots the range the invalidation will check, and
-    /// enqueues the walk. Even the shadow teardown and the record's
-    /// recycling ride along with the job — the retiring sweep does both
-    /// just before it requeues the block. The heap has already
-    /// quarantined the block, so nothing can allocate inside
-    /// `[base, end]` until then — which is what makes both the deferred
-    /// teardown and running the range check against a snapshot (instead
-    /// of the live record) sound.
-    fn defer_free(&self, meta: &ObjectMeta, base: Addr, obj_id: u64) -> InvalidationReport {
+    /// Takes the object's already-detached log chain (`on_free` swapped
+    /// it out; the sweep becomes its sole owner), snapshots the range
+    /// the invalidation will check, and enqueues the walk. Even the
+    /// shadow teardown and the record's recycling ride along with the
+    /// job — the retiring sweep does both just before it requeues the
+    /// block. The heap has already quarantined the block, so nothing
+    /// can allocate inside `[base, end]` until then — which is what
+    /// makes both the deferred teardown and running the range check
+    /// against a snapshot (instead of the live record) sound.
+    fn defer_free(
+        &self,
+        meta: &ObjectMeta,
+        base: Addr,
+        obj_id: u64,
+        logs: LogChain,
+    ) -> InvalidationReport {
         let queue = self.sweep.as_ref().expect("deferred mode is on");
-        let logs = LogChain(meta.head.swap(ptr::null_mut(), Ordering::AcqRel));
         let lo = meta.base.load(Ordering::Acquire);
         let hi = meta.end.load(Ordering::Acquire);
         let covered = meta.covered.load(Ordering::Acquire);
@@ -675,11 +796,21 @@ impl DangSan {
     fn run_object_sweep(&self, obj: ObjectSweep, mode: u64) {
         let mut locs = self.scratch.take();
         let mut cur = obj.logs.0;
+        let mut first_tid = 0u64;
+        let mut cross = false;
         while !cur.is_null() {
             // SAFETY: the chain was detached from its record with a
             // `swap`, making this sweep its sole owner; logs are
             // pool-owned type-stable memory.
             let log = unsafe { &*cur };
+            // Site-profile evidence: more than one thread's log on the
+            // chain means cross-thread pointers existed.
+            let tid = log.thread_id.load(Ordering::Acquire);
+            if first_tid == 0 {
+                first_tid = tid;
+            } else if tid != first_tid {
+                cross = true;
+            }
             log.for_each_location(|loc| locs.push(loc));
             let next = log.next.load(Ordering::Acquire);
             log.reset();
@@ -736,6 +867,7 @@ impl DangSan {
                 covered: obj.covered,
                 meta: obj.meta,
                 walked,
+                cross,
                 remaining: AtomicUsize::new(parts),
                 invalidated: AtomicU64::new(0),
                 stale: AtomicU64::new(0),
@@ -788,6 +920,7 @@ impl DangSan {
                 walked,
                 unique,
                 pages,
+                cross,
             },
             &report,
         );
@@ -845,6 +978,7 @@ impl DangSan {
                     walked: batch.walked,
                     unique: batch.locs.len() as u64,
                     pages: batch.pages.load(Ordering::Acquire),
+                    cross: batch.cross,
                 },
                 &report,
             );
@@ -879,10 +1013,39 @@ impl DangSan {
         // SAFETY: records are pool-owned type-stable memory, and from
         // detach to retire this sweep was the record's sole owner.
         let meta = unsafe { &*retire.meta.0 };
+        // Site/tier must be read before the recycle hands the record to
+        // the next allocation.
+        let site = meta.site.load(Ordering::Relaxed);
+        let tier = meta.tier.load(Ordering::Relaxed);
+        if let Some(policy) = &self.policy {
+            let lifetime = meta
+                .epoch
+                .load(Ordering::Relaxed)
+                .saturating_sub(retire.obj_id);
+            policy.note_free(site, shape.unique, shape.cross, lifetime);
+        }
         self.map.clear_object(retire.base, retire.covered);
         self.meta_pool.recycle(meta);
         if let Some(heap) = self.heap.lock().expect("not poisoned").upgrade() {
-            heap.requeue_batch(&[retire.base]);
+            // Hardened tier: the swept block takes a detour through the
+            // pin FIFO — already retired (its charge is released below,
+            // so drains never wait on it) but not yet allocatable, so a
+            // dangling pointer to a previously-reported site keeps
+            // trapping for longer. The FIFO evicts oldest-first at cap.
+            let pin_cap = self.cfg.hardened_pin_objects;
+            let pin_queue = self
+                .sweep
+                .as_ref()
+                .filter(|_| tier == Tier::Hardened as u64 && pin_cap > 0);
+            match pin_queue {
+                Some(queue) => {
+                    Stats::bump(&self.stats.hardened_pins);
+                    if let Some(evicted) = queue.pin_block(retire.base, pin_cap) {
+                        heap.requeue_batch(&[evicted]);
+                    }
+                }
+                None => heap.requeue_batch(&[retire.base]),
+            }
         }
         if let Some(queue) = self.sweep.as_ref() {
             queue.retire_object(retire.bytes);
@@ -892,8 +1055,9 @@ impl DangSan {
     /// Blocks until every deferred sweep enqueued so far has retired,
     /// helping to drain the queue from the calling thread (so `drain`
     /// works even with `Config::sweep_threads` at zero). After this
-    /// returns, all counters are exact and every quarantined block is
-    /// allocatable again. No-op in synchronous mode.
+    /// returns, all counters are exact and every quarantined block —
+    /// Hardened pins included, which the drain flushes — is allocatable
+    /// again. No-op in synchronous mode.
     pub fn drain(&self) {
         let Some(queue) = self.sweep.as_ref() else {
             return;
@@ -904,11 +1068,25 @@ impl DangSan {
                 continue;
             }
             if queue.pending() == 0 {
-                return;
+                break;
             }
             // Jobs are in flight on the helpers: wait for a retire (or
             // for a split part to land back in the queue).
             queue.wait_for_retire_or_work();
+        }
+        self.flush_pins(queue);
+    }
+
+    /// Requeues every Hardened-pinned block (the drain/teardown flush
+    /// that keeps "after drain, everything circulates" true with
+    /// pinning on).
+    fn flush_pins(&self, queue: &SweepQueue) {
+        let pins = queue.take_pins();
+        if pins.is_empty() {
+            return;
+        }
+        if let Some(heap) = self.heap.lock().expect("not poisoned").upgrade() {
+            heap.requeue_batch(&pins);
         }
     }
 
@@ -919,11 +1097,13 @@ impl DangSan {
     }
 }
 
-/// The shape counters of one finished walk (Hot::Free* bookkeeping).
+/// The shape counters of one finished walk (Hot::Free* bookkeeping plus
+/// the site profile's cross-thread evidence bit).
 struct SweepShape {
     walked: u64,
     unique: u64,
     pages: u64,
+    cross: bool,
 }
 
 /// Identity and teardown handles of one retiring sweep.
@@ -990,6 +1170,7 @@ impl Drop for DangSan {
                 }
             }
         }
+        self.flush_pins(&queue);
         let workers = std::mem::take(&mut *self.workers.lock().expect("not poisoned"));
         let me = std::thread::current().id();
         for handle in workers {
@@ -1012,6 +1193,25 @@ impl Detector for DangSan {
             .register_span(alloc.span_start, alloc.span_pages, alloc.shift);
         let meta = self.meta_pool.take();
         meta.init(alloc.base, alloc.requested, alloc.stride);
+        if let Some(policy) = &self.policy {
+            // Route before `set_object` publishes the record: no
+            // `register_ptr` can resolve to a half-routed object.
+            // (`init` reset the tier to Standard, so the policy-off
+            // path stores nothing here.)
+            let site = dangsan_trace::alloc_site();
+            meta.site.store(site, Ordering::Release);
+            match policy.route(site) {
+                Tier::Thin => {
+                    meta.tier.store(Tier::Thin as u64, Ordering::Release);
+                    Stats::bump(&self.stats.routed_thin);
+                }
+                Tier::Hardened => {
+                    meta.tier.store(Tier::Hardened as u64, Ordering::Release);
+                    Stats::bump(&self.stats.routed_hardened);
+                }
+                Tier::Standard => {}
+            }
+        }
         self.map
             .set_object(alloc.base, alloc.stride, meta.as_meta_value());
         Stats::bump(&self.stats.objects_allocated);
@@ -1056,23 +1256,61 @@ impl Detector for DangSan {
             new_epoch,
             0,
         );
+        // Detach the log chain up front: the free owns it from here.
+        // (The deferred path always detached here; the inline path used
+        // to recycle the same chain at teardown — a registration racing
+        // either window is dropped identically, the §4.4-sanctioned
+        // race.) Detaching first is what lets the Thin router decide
+        // off one observation: an empty chain proves no registration
+        // the walk could see exists.
+        let chain = meta.head.swap(ptr::null_mut(), Ordering::AcqRel);
+        if self.policy.is_some() && meta.tier.load(Ordering::Acquire) == Tier::Thin as u64 {
+            if chain.is_null() {
+                return self.thin_free(meta, base, obj_id);
+            }
+            // The profile predicted an empty chain and was wrong (a
+            // registration raced its object's promotion CAS into this
+            // free): demote the site and run the untrimmed path below —
+            // the router trades work, never detection.
+            let site = meta.site.load(Ordering::Relaxed);
+            if let Some(policy) = &self.policy {
+                policy.demote(site);
+            }
+            Stats::bump(&self.stats.site_demotions);
+            self.trace
+                .record(TraceLevel::Full, EventCode::SiteDemote, site, obj_id, 1);
+        }
         if self.sweep.is_some() {
             // Deferred mode: O(1) bookkeeping, then hand the walk to the
             // sweep subsystem. The report is all zeros — the outcome
             // lands in the stats once the sweep retires (exact after
             // [`DangSan::drain`]).
-            return self.defer_free(meta, base, obj_id);
+            return self.defer_free(meta, base, obj_id, LogChain(chain));
         }
         let sweep = self.trace.span_start(TraceLevel::Full);
         // Drain every tier of every thread's log into one pooled scratch
-        // buffer (no host allocation in steady state)...
+        // buffer (no host allocation in steady state), recycling each
+        // drained log on the way...
         let mut locs = self.scratch.take();
-        let mut cur = meta.head.load(Ordering::Acquire);
+        let mut cur = chain;
+        let mut first_tid = 0u64;
+        let mut cross = false;
         while !cur.is_null() {
-            // SAFETY: logs are pool-owned and type-stable.
+            // SAFETY: the chain was just detached with a `swap`, making
+            // this free its sole owner; logs are pool-owned and
+            // type-stable.
             let log = unsafe { &*cur };
+            let tid = log.thread_id.load(Ordering::Acquire);
+            if first_tid == 0 {
+                first_tid = tid;
+            } else if tid != first_tid {
+                cross = true;
+            }
             log.for_each_location(|loc| locs.push(loc));
-            cur = log.next.load(Ordering::Acquire);
+            let next = log.next.load(Ordering::Acquire);
+            log.reset();
+            self.log_pool.recycle(log);
+            cur = next;
         }
         let walked = locs.len() as u64;
         // ...then collapse duplicates (cross-thread repeats plus
@@ -1113,19 +1351,16 @@ impl Detector for DangSan {
             pack_sweep_mode(walked, pages, SWEEP_MODE_INLINE),
         );
         self.scratch.recycle(locs);
-        // Tear down: clear the shadow mapping, then recycle logs and meta.
+        // Tear down: record the site evidence, clear the shadow mapping,
+        // recycle the record (the logs went back during the drain above).
         let covered = meta.covered.load(Ordering::Acquire);
         let obj_base = meta.base.load(Ordering::Acquire);
-        self.map.clear_object(obj_base, covered);
-        let mut cur = meta.head.swap(ptr::null_mut(), Ordering::AcqRel);
-        while !cur.is_null() {
-            // SAFETY: as above.
-            let log = unsafe { &*cur };
-            let next = log.next.load(Ordering::Acquire);
-            log.reset();
-            self.log_pool.recycle(log);
-            cur = next;
+        if let Some(policy) = &self.policy {
+            let site = meta.site.load(Ordering::Relaxed);
+            let lifetime = meta.epoch.load(Ordering::Relaxed).saturating_sub(obj_id);
+            policy.note_free(site, unique, cross, lifetime);
         }
+        self.map.clear_object(obj_base, covered);
         self.meta_pool.recycle(meta);
         Stats::bump(&self.stats.objects_freed);
         self.trace.record(
@@ -1155,6 +1390,7 @@ impl Detector for DangSan {
         let Some(meta) = self.ptr2obj(value) else {
             return;
         };
+        self.maybe_promote(meta);
         self.stats.bump_hot(Hot::PtrsRegistered);
         let log = self.find_or_create_log(meta);
         let epoch = meta.epoch.load(Ordering::Relaxed);
@@ -1231,6 +1467,9 @@ impl Detector for DangSan {
         let p2o = self.map.cache_stats();
         snap.ptr2obj_cache_hits = p2o.hits;
         snap.ptr2obj_cache_misses = p2o.misses;
+        if let Some(queue) = self.sweep.as_ref() {
+            snap.sweep_shard_peaks = queue.shard_peaks();
+        }
         snap
     }
 

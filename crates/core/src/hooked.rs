@@ -393,6 +393,17 @@ mod tests {
             .unwrap_or(2)
     }
 
+    /// Site-policy arm for the counter-equivalence tests. The CI matrix
+    /// exports `SITE_POLICY` (0 and 1) so the bit-exactness claims get
+    /// checked with adaptive routing both off and on; locally the default
+    /// matches the committed (off) configuration.
+    fn matrix_site_policy(cfg: Config) -> Config {
+        match std::env::var("SITE_POLICY").ok().as_deref().map(str::trim) {
+            Some("1") | Some("on") => cfg.with_site_policy(true).with_thin_min_frees(4),
+            _ => cfg,
+        }
+    }
+
     fn setup_with(cfg: Config) -> HookedHeap<DangSan> {
         let mem = Arc::new(AddressSpace::new());
         let heap = Heap::new(Arc::clone(&mem));
@@ -432,17 +443,17 @@ mod tests {
         // whether the free walk runs inline, deferred on the freeing
         // thread (zero helpers), or on helper threads — the sweep moves
         // work in time and across threads, never changes it.
-        let inline = run_sequence(Config::default());
-        let helped = run_sequence(
+        let inline = run_sequence(matrix_site_policy(Config::default()));
+        let helped = run_sequence(matrix_site_policy(
             Config::default()
                 .with_deferred_sweep(true)
                 .with_sweep_threads(matrix_sweep_threads()),
-        );
-        let solo = run_sequence(
+        ));
+        let solo = run_sequence(matrix_site_policy(
             Config::default()
                 .with_deferred_sweep(true)
                 .with_sweep_threads(0),
-        );
+        ));
         assert_eq!(inline, helped, "helper-thread sweep diverged");
         assert_eq!(inline, solo, "drain-driven sweep diverged");
     }
@@ -587,6 +598,115 @@ mod tests {
             deferred.free_pages_touched >= PAGES,
             "one page run per holder page: {deferred:?}"
         );
+    }
+
+    /// A two-site mix for the routing tests: site `0xA1` churns
+    /// pointer-free allocations (eligible for Thin once warm) while site
+    /// `0xB2` allocates objects that always take an inbound pointer (and
+    /// so must stay fully tracked).
+    fn run_routed_sequence(cfg: Config) -> crate::stats::StatsSnapshot {
+        let hh = setup_with(cfg);
+        dangsan_trace::set_alloc_site(0);
+        let holders = hh.malloc(8 * 64).unwrap();
+        let mut slot = 0u64;
+        for round in 0..40u64 {
+            dangsan_trace::set_alloc_site(0xA1);
+            for _ in 0..3 {
+                let o = hh.malloc(24).unwrap();
+                hh.free(o.base).unwrap();
+            }
+            dangsan_trace::set_alloc_site(0xB2);
+            let obj = hh.malloc(16 + (round % 5) * 16).unwrap();
+            let loc = holders.base + slot * 8;
+            slot += 1;
+            hh.store_ptr(loc, obj.base).unwrap();
+            hh.free(obj.base).unwrap();
+        }
+        dangsan_trace::set_alloc_site(0);
+        hh.detector().drain();
+        hh.detector().stats().behavioural()
+    }
+
+    #[test]
+    fn adaptive_routing_keeps_behavioural_counters_bit_exact() {
+        // Routing may only move work, never change what the program
+        // observes: the same two-site mix must produce identical Table 1
+        // counters with the policy off and with it on (thin_min_frees=1
+        // so the clean site actually goes Thin), inline and deferred.
+        for deferred in [false, true] {
+            let base = if deferred {
+                Config::default()
+                    .with_deferred_sweep(true)
+                    .with_sweep_threads(0)
+            } else {
+                Config::default()
+            };
+            let off = run_routed_sequence(base);
+            let on = run_routed_sequence(base.with_site_policy(true).with_thin_min_frees(1));
+            assert_eq!(
+                off, on,
+                "deferred={deferred}: routing changed observable counters"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_site_earns_thin_and_contradiction_promotes() {
+        let hh = setup_with(
+            Config::default()
+                .with_site_policy(true)
+                .with_thin_min_frees(2),
+        );
+        dangsan_trace::set_alloc_site(0x51);
+        for _ in 0..4 {
+            let o = hh.malloc(32).unwrap();
+            hh.free(o.base).unwrap();
+        }
+        let s = hh.detector().stats();
+        assert!(s.routed_thin >= 1, "warm clean site never routed Thin");
+        assert!(s.frees_thin >= 1, "Thin object took the full free path");
+        // Contradiction: a pointer is registered against a Thin-routed
+        // object. The registration must promote the object on the spot —
+        // the free still invalidates the dangling pointer.
+        let holder = hh.malloc(8).unwrap();
+        let obj = hh.malloc(32).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        let report = hh.free(obj.base).unwrap();
+        assert_eq!(report.invalidated, 1, "promotion lost the dangling ptr");
+        let s = hh.detector().stats();
+        assert!(s.thin_promotions >= 1, "no promotion recorded");
+        assert!(s.site_demotions >= 1, "no site demotion recorded");
+        // The demotion is permanent: the site routes Standard from now on.
+        use crate::policy::Tier;
+        let policy = hh.detector().site_policy().unwrap();
+        assert_eq!(policy.route(0x51), Tier::Standard);
+        dangsan_trace::set_alloc_site(0);
+    }
+
+    #[test]
+    fn hardened_site_pins_swept_blocks_and_drain_flushes_them() {
+        let hh = setup_with(
+            Config::default()
+                .with_site_policy(true)
+                .with_deferred_sweep(true)
+                .with_sweep_threads(0)
+                .with_hardened_pins(8),
+        );
+        hh.heap().set_thread_cached(false);
+        dangsan_trace::set_alloc_site(0x91);
+        // Forensics hands prior UAF evidence to the profile table; every
+        // later allocation at the site routes Hardened.
+        hh.detector().site_policy().unwrap().note_uaf(0x91);
+        let obj = hh.malloc(48).unwrap();
+        hh.free(obj.base).unwrap();
+        hh.detector().drain();
+        let s = hh.detector().stats();
+        assert!(s.routed_hardened >= 1, "UAF history did not harden site");
+        assert!(s.hardened_pins >= 1, "swept block was never pinned");
+        // The drain flushed the pin FIFO: the block circulates again.
+        let reused = (0..10_000).any(|_| hh.malloc(48).unwrap().base == obj.base);
+        assert!(reused, "pinned block never returned after drain");
+        dangsan_trace::set_alloc_site(0);
     }
 
     #[test]

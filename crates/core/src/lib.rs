@@ -68,6 +68,7 @@ pub mod detector;
 pub mod hooked;
 pub mod log;
 pub mod object;
+pub mod policy;
 pub mod pool;
 pub mod stats;
 pub(crate) mod sweep;
@@ -76,6 +77,7 @@ pub use api::{Detector, InvalidationReport, NullDetector};
 pub use config::{Config, EMBEDDED_ENTRIES};
 pub use detector::{current_thread_id, DangSan};
 pub use hooked::{HookedHeap, HookedThread};
+pub use policy::{SiteEvidence, SitePolicy, Tier};
 pub use stats::{Hot, Stats, StatsSnapshot};
 
 // The flight recorder (`dangsan-trace`) re-exported at the top level:

@@ -1,0 +1,297 @@
+//! Per-alloc-site tracking policy: the site-profile table and tier router.
+//!
+//! DangSan pays the full pointer-tracking cost uniformly, but most
+//! allocation sites never have a pointer registered against their
+//! objects — the expensive log tiers exist for a minority of sites. This
+//! module learns which sites are provably boring and routes them to a
+//! thinner path (DESIGN.md §5h):
+//!
+//! * [`Tier::Thin`] — no sweep-queue round trip at free: the object's
+//!   epoch is retired and, if the log chain is empty (the profile's
+//!   prediction), the free completes with shadow teardown only.
+//! * [`Tier::Standard`] — today's path, unchanged.
+//! * [`Tier::Hardened`] — full tracking plus a mandatory reuse delay:
+//!   in deferred mode the swept block is pinned in a bounded FIFO
+//!   before re-entering the allocator (sites with prior UAF reports).
+//!
+//! **The router may only trade work, never detection.** Routing is
+//! structurally detection-safe regardless of profile quality:
+//! `registerptr` always registers (lazily promoting a Thin object on
+//! its slow path), and a free that finds a non-empty log chain always
+//! runs the full invalidation walk. The profile merely authorises
+//! skipping machinery whose input is *observed empty at free time* —
+//! it never suppresses an invalidation. The one registration the thin
+//! free can miss — a racing store that lands after the free detaches
+//! the chain — is the same racing-store window the Standard path has
+//! always had (§4.4's weak-consistency argument).
+//!
+//! The table is a fixed-size, direct-mapped array of atomics keyed by
+//! `alloc_site() & (SITE_SLOTS - 1)`. Collisions *merge* evidence, which
+//! is conservative in the safe direction: disqualifying evidence
+//! (inbound pointers, demotions, UAF reports) only accumulates, so two
+//! sites sharing a slot can lose Thin eligibility but a dirty site can
+//! never borrow a clean neighbour's record — eligibility requires the
+//! slot to have *zero* disqualifiers.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Slots in the direct-mapped site-profile table. Site ids are 16-bit
+/// (`dangsan_trace::pack_size_site`), so 1024 slots keep the collision
+/// rate low while the whole table stays a few cache lines per column.
+pub const SITE_SLOTS: usize = 1024;
+
+/// Buckets of the per-site object-lifetime histogram, in logical epochs
+/// elapsed between alloc and free: `<4`, `<64`, `<1024`, the rest.
+pub const LIFETIME_BUCKETS: usize = 4;
+
+/// The tracking depth assigned to one allocation at `malloc` time.
+///
+/// Stored in `ObjectMeta::tier` as its `u64` discriminant so the free
+/// path and the `registerptr` slow path can read it without locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Tier {
+    /// Full tracking, synchronous or deferred sweep — today's path.
+    Standard = 0,
+    /// Epoch-only free when the log chain is empty; promoted to
+    /// `Standard` by the first `registerptr` against the object.
+    Thin = 1,
+    /// Full tracking plus pinned (delayed) block reuse after the sweep.
+    Hardened = 2,
+}
+
+impl Tier {
+    /// Decodes the `u64` stored in `ObjectMeta::tier`. Unknown values
+    /// decode as `Standard` — the safe direction.
+    #[inline]
+    pub fn from_u64(v: u64) -> Tier {
+        match v {
+            1 => Tier::Thin,
+            2 => Tier::Hardened,
+            _ => Tier::Standard,
+        }
+    }
+}
+
+/// One slot of evidence. All counters are monotonic and relaxed: the
+/// profile is a heuristic input to the router, never a safety input —
+/// see the module docs.
+#[derive(Default)]
+struct SiteProfile {
+    /// Frees observed for objects routed from this slot.
+    frees: AtomicU64,
+    /// Total unique inbound pointer locations walked at those frees.
+    inbound: AtomicU64,
+    /// Frees whose log chain held registrations from more than one
+    /// thread (cross-thread pointer evidence).
+    cross_thread: AtomicU64,
+    /// UAF reports attributed to this site by `forensics`.
+    uaf_reports: AtomicU64,
+    /// Times a Thin object from this slot was contradicted (a
+    /// `registerptr` or a non-empty chain at free). Permanent
+    /// disqualifier: one wrong prediction ends Thin routing here.
+    demotions: AtomicU64,
+    /// Object lifetime histogram (logical epochs alive, see
+    /// [`LIFETIME_BUCKETS`]).
+    lifetime_hist: [AtomicU64; LIFETIME_BUCKETS],
+}
+
+/// A read-only copy of one site's evidence (for stats / tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteEvidence {
+    /// Frees observed.
+    pub frees: u64,
+    /// Total unique inbound locations across those frees.
+    pub inbound: u64,
+    /// Frees with registrations from more than one thread.
+    pub cross_thread: u64,
+    /// UAF reports attributed to the site.
+    pub uaf_reports: u64,
+    /// Thin-prediction contradictions.
+    pub demotions: u64,
+    /// Lifetime histogram (logical epochs).
+    pub lifetime_hist: [u64; LIFETIME_BUCKETS],
+}
+
+/// Lock-free site-profile table + router (see the module docs).
+pub struct SitePolicy {
+    slots: Box<[SiteProfile; SITE_SLOTS]>,
+    /// Frees a slot must witness, with zero disqualifiers, before its
+    /// sites route Thin (`Config::thin_min_frees`).
+    thin_min_frees: u64,
+}
+
+impl SitePolicy {
+    /// Creates an empty table; every site starts `Standard`.
+    pub fn new(thin_min_frees: u64) -> Self {
+        let slots: Vec<SiteProfile> = (0..SITE_SLOTS).map(|_| SiteProfile::default()).collect();
+        let slots: Box<[SiteProfile; SITE_SLOTS]> =
+            slots.try_into().unwrap_or_else(|_| unreachable!());
+        SitePolicy {
+            slots,
+            thin_min_frees: thin_min_frees.max(1),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, site: u64) -> &SiteProfile {
+        &self.slots[(site as usize) & (SITE_SLOTS - 1)]
+    }
+
+    /// Routes one allocation: the tier for an object born at `site` now.
+    ///
+    /// Thin requires a history of `thin_min_frees` frees with *zero*
+    /// inbound pointers and no contradiction or report ever; any UAF
+    /// report forces Hardened; everything else is Standard.
+    #[inline]
+    pub fn route(&self, site: u64) -> Tier {
+        let s = self.slot(site);
+        if s.uaf_reports.load(Ordering::Relaxed) > 0 {
+            return Tier::Hardened;
+        }
+        if s.demotions.load(Ordering::Relaxed) == 0
+            && s.inbound.load(Ordering::Relaxed) == 0
+            && s.frees.load(Ordering::Relaxed) >= self.thin_min_frees
+        {
+            return Tier::Thin;
+        }
+        Tier::Standard
+    }
+
+    /// Records the evidence one completed free produced: `inbound`
+    /// unique locations walked, whether more than one thread had
+    /// registered (`cross_thread`), and the object's logical lifetime
+    /// in epochs.
+    pub fn note_free(&self, site: u64, inbound: u64, cross_thread: bool, lifetime_epochs: u64) {
+        let s = self.slot(site);
+        s.frees.fetch_add(1, Ordering::Relaxed);
+        if inbound > 0 {
+            s.inbound.fetch_add(inbound, Ordering::Relaxed);
+        }
+        if cross_thread {
+            s.cross_thread.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = match lifetime_epochs {
+            0..=3 => 0,
+            4..=63 => 1,
+            64..=1023 => 2,
+            _ => 3,
+        };
+        s.lifetime_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a Thin-prediction contradiction: the site stops routing
+    /// Thin permanently (the object itself was already promoted by the
+    /// caller before this is called).
+    pub fn demote(&self, site: u64) {
+        self.slot(site).demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a UAF report attributed to `site`: the site routes
+    /// Hardened from now on.
+    pub fn note_uaf(&self, site: u64) {
+        self.slot(site).uaf_reports.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one site's slot (merged with any colliding sites).
+    pub fn evidence(&self, site: u64) -> SiteEvidence {
+        let s = self.slot(site);
+        let mut hist = [0u64; LIFETIME_BUCKETS];
+        for (out, b) in hist.iter_mut().zip(s.lifetime_hist.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        SiteEvidence {
+            frees: s.frees.load(Ordering::Relaxed),
+            inbound: s.inbound.load(Ordering::Relaxed),
+            cross_thread: s.cross_thread.load(Ordering::Relaxed),
+            uaf_reports: s.uaf_reports.load(Ordering::Relaxed),
+            demotions: s.demotions.load(Ordering::Relaxed),
+            lifetime_hist: hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sites_route_standard() {
+        let p = SitePolicy::new(4);
+        assert_eq!(p.route(7), Tier::Standard);
+    }
+
+    #[test]
+    fn clean_history_earns_thin() {
+        let p = SitePolicy::new(4);
+        for _ in 0..3 {
+            p.note_free(7, 0, false, 1);
+            assert_eq!(p.route(7), Tier::Standard, "below the free floor");
+        }
+        p.note_free(7, 0, false, 1);
+        assert_eq!(p.route(7), Tier::Thin);
+    }
+
+    #[test]
+    fn inbound_pointers_disqualify_thin() {
+        let p = SitePolicy::new(1);
+        p.note_free(7, 2, false, 1);
+        for _ in 0..100 {
+            p.note_free(7, 0, false, 1);
+        }
+        assert_eq!(p.route(7), Tier::Standard, "inbound evidence is sticky");
+    }
+
+    #[test]
+    fn demotion_is_permanent() {
+        let p = SitePolicy::new(1);
+        p.note_free(7, 0, false, 1);
+        assert_eq!(p.route(7), Tier::Thin);
+        p.demote(7);
+        for _ in 0..100 {
+            p.note_free(7, 0, false, 1);
+        }
+        assert_eq!(p.route(7), Tier::Standard, "one contradiction ends Thin");
+    }
+
+    #[test]
+    fn uaf_report_forces_hardened() {
+        let p = SitePolicy::new(1);
+        p.note_free(7, 0, false, 1);
+        assert_eq!(p.route(7), Tier::Thin);
+        p.note_uaf(7);
+        assert_eq!(p.route(7), Tier::Hardened);
+    }
+
+    #[test]
+    fn collisions_merge_conservatively() {
+        let p = SitePolicy::new(1);
+        let (a, b) = (7u64, 7 + SITE_SLOTS as u64); // same slot
+        p.note_free(a, 0, false, 1);
+        assert_eq!(p.route(b), Tier::Thin, "collision shares the history...");
+        p.note_free(b, 5, true, 1);
+        assert_eq!(p.route(a), Tier::Standard, "...and shares disqualifiers");
+        let e = p.evidence(a);
+        assert_eq!(e.frees, 2);
+        assert_eq!(e.inbound, 5);
+        assert_eq!(e.cross_thread, 1);
+    }
+
+    #[test]
+    fn lifetime_histogram_buckets() {
+        let p = SitePolicy::new(1);
+        p.note_free(9, 0, false, 0);
+        p.note_free(9, 0, false, 10);
+        p.note_free(9, 0, false, 100);
+        p.note_free(9, 0, false, 10_000);
+        assert_eq!(p.evidence(9).lifetime_hist, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn tier_u64_roundtrip() {
+        for t in [Tier::Standard, Tier::Thin, Tier::Hardened] {
+            assert_eq!(Tier::from_u64(t as u64), t);
+        }
+        assert_eq!(Tier::from_u64(99), Tier::Standard, "unknown decodes safe");
+    }
+}

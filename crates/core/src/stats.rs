@@ -175,6 +175,21 @@ pub struct Stats {
     pub sweep_steals: AtomicU64,
     /// Page-wise sub-tasks spawned beyond the first for large sweeps.
     pub sweep_splits: AtomicU64,
+    /// Allocations routed to the Thin tier by the site policy.
+    pub routed_thin: AtomicU64,
+    /// Allocations routed to the Hardened tier by the site policy.
+    pub routed_hardened: AtomicU64,
+    /// Thin-routed frees that completed on the epoch-only fast path
+    /// (empty log chain, no sweep machinery).
+    pub frees_thin: AtomicU64,
+    /// Thin objects promoted to Standard by a `registerptr` (the lazy
+    /// upgrade that keeps routing detection-safe).
+    pub thin_promotions: AtomicU64,
+    /// Sites demoted out of Thin routing (promotion or a non-empty
+    /// chain found at free).
+    pub site_demotions: AtomicU64,
+    /// Swept Hardened blocks pinned before allocator reuse.
+    pub hardened_pins: AtomicU64,
     /// The per-store counters (see [`Hot`]), batched per thread.
     hot: Arc<HotShared>,
     /// Never-reused identity of `hot` for the thread-local batches.
@@ -196,6 +211,12 @@ impl Default for Stats {
             sweeps_backpressure: AtomicU64::new(0),
             sweep_steals: AtomicU64::new(0),
             sweep_splits: AtomicU64::new(0),
+            routed_thin: AtomicU64::new(0),
+            routed_hardened: AtomicU64::new(0),
+            frees_thin: AtomicU64::new(0),
+            thin_promotions: AtomicU64::new(0),
+            site_demotions: AtomicU64::new(0),
+            hardened_pins: AtomicU64::new(0),
             hot: Arc::new(HotShared::default()),
             hot_id: NEXT_STATS_ID.fetch_add(1, Ordering::Relaxed),
         }
@@ -255,6 +276,21 @@ pub struct StatsSnapshot {
     pub sweep_steals: u64,
     /// See [`Stats::sweep_splits`].
     pub sweep_splits: u64,
+    /// See [`Stats::routed_thin`].
+    pub routed_thin: u64,
+    /// See [`Stats::routed_hardened`].
+    pub routed_hardened: u64,
+    /// See [`Stats::frees_thin`].
+    pub frees_thin: u64,
+    /// See [`Stats::thin_promotions`].
+    pub thin_promotions: u64,
+    /// See [`Stats::site_demotions`].
+    pub site_demotions: u64,
+    /// See [`Stats::hardened_pins`].
+    pub hardened_pins: u64,
+    /// Highest sweep-queue depth (jobs) each of the 4 shards ever saw
+    /// (filled in by [`crate::DangSan::stats`]; zeros without a queue).
+    pub sweep_shard_peaks: [u64; 4],
     /// Per-free histogram of locations drained: buckets 0, 1–8, 9–64,
     /// 65–512, >512 (see [`Hot::FreeHistEmpty`] and friends). Sums to
     /// `objects_freed` for frees that went through the walk.
@@ -309,6 +345,14 @@ impl Stats {
             sweeps_backpressure: l(&self.sweeps_backpressure),
             sweep_steals: l(&self.sweep_steals),
             sweep_splits: l(&self.sweep_splits),
+            routed_thin: l(&self.routed_thin),
+            routed_hardened: l(&self.routed_hardened),
+            frees_thin: l(&self.frees_thin),
+            thin_promotions: l(&self.thin_promotions),
+            site_demotions: l(&self.site_demotions),
+            hardened_pins: l(&self.hardened_pins),
+            // The queue owner fills these in (see the field docs).
+            sweep_shard_peaks: [0; 4],
             free_locs_hist: [
                 h(Hot::FreeHistEmpty),
                 h(Hot::FreeHistSmall),
@@ -433,6 +477,17 @@ impl StatsSnapshot {
         self.sweeps_backpressure = 0;
         self.sweep_steals = 0;
         self.sweep_splits = 0;
+        // Routing is a work-placement choice too: Thin/Standard/Hardened
+        // change *how* a free is executed, never which pointers get
+        // invalidated. The differential property tests pin this by
+        // comparing behavioural snapshots across routing modes.
+        self.routed_thin = 0;
+        self.routed_hardened = 0;
+        self.frees_thin = 0;
+        self.thin_promotions = 0;
+        self.site_demotions = 0;
+        self.hardened_pins = 0;
+        self.sweep_shard_peaks = [0; 4];
         self
     }
 }

@@ -106,6 +106,9 @@ pub(crate) struct SweepBatch {
     pub meta: MetaRef,
     /// Locations drained before dedup (for the Hot::* shape counters).
     pub walked: u64,
+    /// Whether more than one thread's log was on the drained chain
+    /// (site-profile cross-thread evidence).
+    pub cross: bool,
     /// Parts not yet finished; the decrement to zero elects the retirer.
     pub remaining: AtomicUsize,
     /// Aggregate outcome: locations rewritten.
@@ -138,6 +141,17 @@ pub(crate) struct SweepQueue {
     /// Workers currently asleep; enqueue skips the notify syscall when
     /// nobody is listening (the common case in a free-heavy loop).
     sleepers: AtomicU64,
+    /// Highest job depth each shard's deque ever reached (diagnostics:
+    /// surfaced through `StatsSnapshot::sweep_shard_peaks` so the
+    /// scaling bench can show how evenly frees spread across shards).
+    peaks: [AtomicU64; SWEEP_SHARDS],
+    /// Hardened-tier reuse delay: swept blocks from Hardened-routed
+    /// objects wait here (FIFO, bounded by `Config::hardened_pin_objects`)
+    /// before being handed back to the allocator. Pinned blocks are
+    /// *retired* — their sweep ran, their quarantine charge is released —
+    /// so they never block `drain`; `take_pins` flushes them at drain
+    /// and teardown so every block still circulates afterwards.
+    pins: Mutex<VecDeque<Addr>>,
 }
 
 impl SweepQueue {
@@ -152,6 +166,8 @@ impl SweepQueue {
             sync: Mutex::new(()),
             cv: Condvar::new(),
             sleepers: AtomicU64::new(0),
+            peaks: [const { AtomicU64::new(0) }; SWEEP_SHARDS],
+            pins: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -166,10 +182,12 @@ impl SweepQueue {
     pub(crate) fn push_object(&self, job: ObjectSweep) -> (u64, u64) {
         let bytes = job.bytes;
         let shard = Self::home_shard();
-        self.shards[shard]
-            .lock()
-            .expect("not poisoned")
-            .push_back(SweepJob::Object(job));
+        let depth = {
+            let mut q = self.shards[shard].lock().expect("not poisoned");
+            q.push_back(SweepJob::Object(job));
+            q.len() as u64
+        };
+        self.peaks[shard].fetch_max(depth, Ordering::Relaxed);
         let pending = self.pending.fetch_add(1, Ordering::AcqRel) + 1;
         let pending_bytes = self.pending_bytes.fetch_add(bytes, Ordering::AcqRel) + bytes;
         self.wake();
@@ -181,10 +199,12 @@ impl SweepQueue {
     /// part retires.
     pub(crate) fn push_part(&self, batch: std::sync::Arc<SweepBatch>, lo: usize, hi: usize) {
         let shard = Self::home_shard();
-        self.shards[shard]
-            .lock()
-            .expect("not poisoned")
-            .push_back(SweepJob::Part(batch, lo, hi));
+        let depth = {
+            let mut q = self.shards[shard].lock().expect("not poisoned");
+            q.push_back(SweepJob::Part(batch, lo, hi));
+            q.len() as u64
+        };
+        self.peaks[shard].fetch_max(depth, Ordering::Relaxed);
         self.wake();
     }
 
@@ -330,6 +350,35 @@ impl SweepQueue {
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
+    /// Highest depth each shard ever reached (see the `peaks` field).
+    pub(crate) fn shard_peaks(&self) -> [u64; SWEEP_SHARDS] {
+        let mut out = [0u64; SWEEP_SHARDS];
+        for (o, p) in out.iter_mut().zip(self.peaks.iter()) {
+            *o = p.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Pins one swept Hardened block, delaying its return to the
+    /// allocator. When the FIFO already holds `cap` blocks, the oldest
+    /// is evicted and returned — the caller requeues it.
+    pub(crate) fn pin_block(&self, base: Addr, cap: u64) -> Option<Addr> {
+        let mut pins = self.pins.lock().expect("not poisoned");
+        pins.push_back(base);
+        if pins.len() as u64 > cap {
+            pins.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Takes every pinned block (drain/teardown flush: after this, every
+    /// swept block is circulating again).
+    pub(crate) fn take_pins(&self) -> Vec<Addr> {
+        let mut pins = self.pins.lock().expect("not poisoned");
+        pins.drain(..).collect()
+    }
+
     fn is_empty(&self) -> bool {
         self.shards
             .iter()
@@ -389,5 +438,31 @@ mod tests {
         q.retire_object(100);
         q.retire_object(100);
         assert!(!q.over_cap());
+    }
+
+    #[test]
+    fn shard_peaks_track_high_water() {
+        let q = SweepQueue::new(1 << 20, 1024);
+        let home = SweepQueue::home_shard();
+        q.push_object(job(8));
+        q.push_object(job(8));
+        q.push_object(job(8));
+        assert_eq!(q.shard_peaks()[home], 3);
+        let mut out = Vec::new();
+        q.pop_batch(home, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        q.push_object(job(8));
+        assert_eq!(q.shard_peaks()[home], 3, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn pin_fifo_bounds_and_flushes() {
+        let q = SweepQueue::new(1 << 20, 1024);
+        assert_eq!(q.pin_block(0x1000, 2), None);
+        assert_eq!(q.pin_block(0x2000, 2), None);
+        // Over cap: the oldest block is evicted for requeueing.
+        assert_eq!(q.pin_block(0x3000, 2), Some(0x1000));
+        assert_eq!(q.take_pins(), vec![0x2000, 0x3000]);
+        assert!(q.take_pins().is_empty());
     }
 }

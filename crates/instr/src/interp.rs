@@ -118,13 +118,13 @@ impl<D: Detector + ?Sized> Machine<D> {
         let mut block = 0usize;
         let result = loop {
             let b: &Block = &f.blocks[block];
-            for inst in &b.insts {
+            for (idx, inst) in b.insts.iter().enumerate() {
                 if *fuel == 0 {
                     self.stack.pop_to(frame_mark);
                     return Err(Trap::OutOfFuel);
                 }
                 *fuel -= 1;
-                self.exec_inst(prog, f, inst, &mut regs, fuel, depth)?;
+                self.exec_inst(prog, f, func, block, idx, inst, &mut regs, fuel, depth)?;
             }
             match &b.term {
                 Term::Jump(t) => block = t.0 as usize,
@@ -152,10 +152,14 @@ impl<D: Detector + ?Sized> Machine<D> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_inst(
         &mut self,
         prog: &Program,
         f: &crate::ir::Function,
+        func: FuncId,
+        block: usize,
+        idx: usize,
         inst: &Inst,
         regs: &mut [u64],
         fuel: &mut u64,
@@ -181,6 +185,7 @@ impl<D: Detector + ?Sized> Machine<D> {
             }
             Inst::Malloc { dst, size } => {
                 let size = self.operand(size, regs);
+                dangsan::set_alloc_site(alloc_site_id(func, block, idx));
                 let a = self.hh.malloc(size)?;
                 regs[dst.0 as usize] = a.base;
             }
@@ -191,6 +196,7 @@ impl<D: Detector + ?Sized> Machine<D> {
             Inst::Realloc { dst, ptr, size } => {
                 let p = regs[ptr.0 as usize];
                 let size = self.operand(size, regs);
+                dangsan::set_alloc_site(alloc_site_id(func, block, idx));
                 let (a, _) = self.hh.realloc(p, size)?;
                 regs[dst.0 as usize] = a.base;
             }
@@ -240,6 +246,17 @@ impl<D: Detector + ?Sized> Machine<D> {
         let _ = f;
         Ok(())
     }
+}
+
+/// Deterministic allocation-site id for an IR heap-allocation
+/// instruction — the stand-in for the call-site address a compiler pass
+/// would hand the runtime. A loop re-executing one `malloc` instruction
+/// reuses one id, which is what lets the site-profile table accumulate
+/// evidence across iterations (and across reruns of the same program on
+/// one machine). Always nonzero, so site 0 keeps meaning "unlabelled"
+/// for hand-driven detector tests.
+fn alloc_site_id(func: FuncId, block: usize, idx: usize) -> u64 {
+    ((func.0 as u64 + 1) << 16) | ((block as u64 & 0xFF) << 8) | (idx as u64 & 0xFF)
 }
 
 /// Convenience: type check, instrument, run `main`, and return the trap

@@ -1,0 +1,235 @@
+//! Differential test: site-profiled routing never changes detection.
+//!
+//! Random programs from the same statement language as
+//! `prop_equivalence` — plus a pointer-free churn loop that makes sites
+//! Thin-eligible — run under two detector configurations: adaptive
+//! routing off (every allocation takes today's Standard path) and on
+//! with `thin_min_frees = 1` (the most aggressive legal router). Each
+//! program runs TWICE on one machine so the second run executes against
+//! warm site profiles: preamble objects whose first-run frees were clean
+//! route Thin on the rerun, and any pointer store to them then exercises
+//! the promotion path. Both arms must produce identical outcomes per run
+//! (same trap or same return) and bit-identical behavioural counters —
+//! the router may only trade work, never detection.
+//!
+//! The `corpus/` directory holds hand-minimized seeds for the routing
+//! edge cases (clean churn, Thin-then-promoted UAF, realloc move),
+//! committed so the exact shapes keep running as regressions.
+
+use std::sync::Arc;
+
+use dangsan::{Config, DangSan, Detector, HookedHeap, StatsSnapshot};
+use dangsan_heap::Heap;
+use dangsan_instr::builder::FunctionBuilder;
+use dangsan_instr::interp::Trap;
+use dangsan_instr::ir::{BinOp, Operand, Program, Reg};
+use dangsan_instr::{instrument, parse_program, Machine, PassOptions};
+use dangsan_vmem::rng::SmallRng;
+use dangsan_vmem::AddressSpace;
+
+#[cfg(not(feature = "heavy-tests"))]
+const CASES: u64 = 96;
+#[cfg(feature = "heavy-tests")]
+const CASES: u64 = 768;
+
+const SLOTS: i64 = 8;
+const OBJS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// Store a pointer to object `obj` into slot `slot`.
+    Store { obj: usize, slot: i64 },
+    /// Pointer-free malloc/free churn: one site, `iters` clean frees —
+    /// the traffic that earns a site its Thin routing.
+    ChurnLoop { iters: i64 },
+    /// Free object `obj` (ignored if already freed).
+    Free { obj: usize },
+    /// Dereference whatever pointer slot `slot` holds.
+    Deref { slot: i64 },
+}
+
+fn random_stmt(rng: &mut SmallRng) -> Stmt {
+    match rng.gen_range(0u64..10) {
+        0..=2 => Stmt::Store {
+            obj: rng.gen_range(0usize..OBJS),
+            slot: rng.gen_range(0i64..SLOTS),
+        },
+        3..=5 => Stmt::ChurnLoop {
+            iters: rng.gen_range(1i64..8),
+        },
+        6 | 7 => Stmt::Free {
+            obj: rng.gen_range(0usize..OBJS),
+        },
+        _ => Stmt::Deref {
+            slot: rng.gen_range(0i64..SLOTS),
+        },
+    }
+}
+
+/// Compiles a statement list into a one-function program.
+fn compile(stmts: &[Stmt]) -> Program {
+    let mut fb = FunctionBuilder::new("main", 0);
+    let slab = fb.malloc(Operand::Imm(SLOTS * 8));
+    let objs: Vec<Reg> = (0..OBJS).map(|_| fb.malloc(Operand::Imm(64))).collect();
+    let mut freed = [false; OBJS];
+    for s in stmts {
+        match s {
+            Stmt::Store { obj, slot } => {
+                fb.store_ptr(slab, slot * 8, objs[*obj]);
+            }
+            Stmt::ChurnLoop { iters } => {
+                let i = fb.iconst(0);
+                let header = fb.new_block();
+                let body = fb.new_block();
+                let exit = fb.new_block();
+                fb.jump(header);
+                fb.switch_to(header);
+                let c = fb.bin(BinOp::Lt, Operand::Reg(i), Operand::Imm(*iters));
+                fb.branch(Operand::Reg(c), body, exit);
+                fb.switch_to(body);
+                let t = fb.malloc(Operand::Imm(48));
+                fb.free(t);
+                fb.bin_into(i, BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+                fb.jump(header);
+                fb.switch_to(exit);
+            }
+            Stmt::Free { obj } => {
+                if !freed[*obj] {
+                    fb.free(objs[*obj]);
+                    freed[*obj] = true;
+                }
+            }
+            Stmt::Deref { slot } => {
+                let p = fb.load_ptr(slab, slot * 8);
+                let is_ptr = fb.bin(BinOp::Ne, Operand::Reg(p), Operand::Imm(0));
+                let doit = fb.new_block();
+                let skip = fb.new_block();
+                fb.branch(Operand::Reg(is_ptr), doit, skip);
+                fb.switch_to(doit);
+                let _v = fb.load_i64(p, 0);
+                fb.jump(skip);
+                fb.switch_to(skip);
+            }
+        }
+    }
+    fb.ret(Some(Operand::Imm(0)));
+    Program {
+        funcs: vec![fb.finish()],
+    }
+}
+
+/// Instruments `prog` and runs it twice on one machine (warm site
+/// profiles on the rerun), returning both outcomes and the behavioural
+/// counter snapshot. `policy` selects the arm.
+#[allow(clippy::type_complexity)]
+fn run_twice(prog: &Program, policy: bool) -> (Vec<Result<Option<u64>, Trap>>, StatsSnapshot) {
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let cfg = if policy {
+        Config::default()
+            .with_site_policy(true)
+            .with_thin_min_frees(1)
+    } else {
+        Config::default()
+    };
+    let det = DangSan::new(Arc::clone(&mem), cfg);
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    let (instrumented, _) = instrument(prog, PassOptions::optimized());
+    instrumented
+        .validate()
+        .expect("valid after instrumentation");
+    let main = instrumented.func_by_name("main").unwrap();
+    let mut outcomes = Vec::new();
+    for slot in 0..2 {
+        let mut m = Machine::new(hh.clone(), slot);
+        outcomes.push(m.run(&instrumented, main, &[]));
+    }
+    (outcomes, det.stats().behavioural())
+}
+
+/// Asserts the two arms agree on `prog`, returning the off arm's
+/// outcomes for callers with expectations of their own.
+fn assert_routing_equivalent(prog: &Program, label: &str) -> Vec<Result<Option<u64>, Trap>> {
+    let (r_off, s_off) = run_twice(prog, false);
+    let (r_on, s_on) = run_twice(prog, true);
+    assert_eq!(r_off, r_on, "{label}: outcomes diverge under routing");
+    assert_eq!(
+        s_off, s_on,
+        "{label}: behavioural counters diverge under routing"
+    );
+    r_off
+}
+
+#[test]
+fn routing_detects_exactly_what_forced_standard_does() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x517E + case);
+        let stmts: Vec<Stmt> = (0..rng.gen_range(1usize..30))
+            .map(|_| random_stmt(&mut rng))
+            .collect();
+        let prog = compile(&stmts);
+        prog.validate().expect("generated program valid");
+        assert_routing_equivalent(&prog, &format!("case {case} ({stmts:?})"));
+    }
+}
+
+#[test]
+fn corpus_seeds_stay_equivalent() {
+    // (file, source, expects_uaf_trap)
+    let seeds: [(&str, &str, bool); 3] = [
+        (
+            "clean_churn_thin.ir",
+            include_str!("corpus/clean_churn_thin.ir"),
+            false,
+        ),
+        (
+            "thin_promote_uaf.ir",
+            include_str!("corpus/thin_promote_uaf.ir"),
+            true,
+        ),
+        (
+            "realloc_move_uaf.ir",
+            include_str!("corpus/realloc_move_uaf.ir"),
+            true,
+        ),
+    ];
+    for (name, src, expects_trap) in seeds {
+        let prog = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        prog.validate().expect("corpus program valid");
+        let outcomes = assert_routing_equivalent(&prog, name);
+        for (run, r) in outcomes.iter().enumerate() {
+            if expects_trap {
+                assert!(
+                    matches!(r, Err(Trap::UseAfterFree(_))),
+                    "{name} run {run}: expected a UAF trap, got {r:?}"
+                );
+            } else {
+                assert_eq!(r, &Ok(Some(0)), "{name} run {run}");
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_rerun_actually_routes_thin() {
+    // Sanity for the harness itself: the churn program's site must go
+    // Thin under the on arm — otherwise every equivalence above is
+    // vacuously comparing Standard against Standard.
+    let prog = parse_program(include_str!("corpus/clean_churn_thin.ir")).unwrap();
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(
+        Arc::clone(&mem),
+        Config::default()
+            .with_site_policy(true)
+            .with_thin_min_frees(1),
+    );
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    let (instrumented, _) = instrument(&prog, PassOptions::optimized());
+    let main = instrumented.func_by_name("main").unwrap();
+    let mut m = Machine::new(hh, 0);
+    m.run(&instrumented, main, &[]).unwrap();
+    let s = det.stats();
+    assert!(s.routed_thin > 0, "churn site never routed Thin: {s:?}");
+    assert!(s.frees_thin > 0, "no free took the thin path: {s:?}");
+}

@@ -80,6 +80,34 @@ pub fn sweep_env_overrides(mut cfg: Config) -> Config {
     cfg
 }
 
+/// Environment-variable overrides for the site-policy knobs, mirroring
+/// [`sweep_env_overrides`]: `SITE_POLICY=on|1` enables adaptive routing
+/// (`off|0` forces it off), `THIN_MIN_FREES=N` sets the clean-free count
+/// a site must accumulate before routing Thin, and `HARDENED_PINS=N`
+/// sets the hardened quarantine-pin budget. Unset variables leave `cfg`
+/// untouched. Applied by the perf harnesses only, for the same reason as
+/// the sweep overrides: the detection tests pin their own configs.
+pub fn site_policy_env_overrides(mut cfg: Config) -> Config {
+    if let Ok(v) = std::env::var("SITE_POLICY") {
+        match v.trim() {
+            "on" | "1" => cfg = cfg.with_site_policy(true),
+            "off" | "0" => cfg = cfg.with_site_policy(false),
+            _ => {}
+        }
+    }
+    if let Ok(v) = std::env::var("THIN_MIN_FREES") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            cfg = cfg.with_thin_min_frees(n);
+        }
+    }
+    if let Ok(v) = std::env::var("HARDENED_PINS") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            cfg = cfg.with_hardened_pins(n);
+        }
+    }
+    cfg
+}
+
 /// A fresh single-threaded environment (any detector kind).
 pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
     let mem = Arc::new(AddressSpace::new());
@@ -188,6 +216,33 @@ mod tests {
 
         std::env::remove_var("SWEEP_THREADS");
         std::env::remove_var("DEFERRED_SWEEP");
+
+        // Site-policy axis, same discipline (and same single-test rule).
+        let base = Config::default();
+        let cfg = site_policy_env_overrides(base);
+        assert_eq!(cfg.site_policy, base.site_policy);
+        assert_eq!(cfg.thin_min_frees, base.thin_min_frees);
+        assert_eq!(cfg.hardened_pin_objects, base.hardened_pin_objects);
+
+        std::env::set_var("SITE_POLICY", "on");
+        std::env::set_var("THIN_MIN_FREES", "8");
+        std::env::set_var("HARDENED_PINS", "16");
+        let cfg = site_policy_env_overrides(Config::default());
+        assert!(cfg.site_policy);
+        assert_eq!(cfg.thin_min_frees, 8);
+        assert_eq!(cfg.hardened_pin_objects, 16);
+
+        std::env::set_var("SITE_POLICY", "0");
+        let cfg = site_policy_env_overrides(Config::default().with_site_policy(true));
+        assert!(!cfg.site_policy, "explicit off beats the built config");
+
+        std::env::set_var("SITE_POLICY", "banana");
+        let cfg = site_policy_env_overrides(Config::default());
+        assert!(!cfg.site_policy, "unparsable values leave cfg untouched");
+
+        std::env::remove_var("SITE_POLICY");
+        std::env::remove_var("THIN_MIN_FREES");
+        std::env::remove_var("HARDENED_PINS");
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod server;
 pub mod spec;
 
 pub use cost::{calibrate, CostModel};
-pub use env::{local_env, shared_env, sweep_env_overrides, DetectorKind};
+pub use env::{
+    local_env, shared_env, site_policy_env_overrides, sweep_env_overrides, DetectorKind,
+};
 pub use profiles::ServerProfile;
 pub use server::{run_server, ServerResult};
 pub use spec::{run_spec, RunResult};

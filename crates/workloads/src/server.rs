@@ -30,6 +30,12 @@ pub struct ServerResult {
     pub requests: u64,
     /// Requests per second.
     pub rps: f64,
+    /// Median per-request wall time in nanoseconds (ApacheBench's
+    /// "50% served within" line).
+    pub p50_ns: u64,
+    /// 99th-percentile per-request wall time in nanoseconds — the tail
+    /// a thin-routed fast path is supposed to shave.
+    pub p99_ns: u64,
     /// Simulated resident memory (heap) at the end.
     pub heap_resident: u64,
     /// Detector metadata bytes.
@@ -68,19 +74,25 @@ where
     }
     let next = AtomicU64::new(0);
     let start = Instant::now();
+    // Per-request wall times, merged across workers for the percentile
+    // lines ApacheBench prints alongside throughput.
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests as usize);
     std::thread::scope(|scope| {
+        let mut handles = Vec::new();
         for w in 0..profile.workers {
             let hh = hh.clone();
             let next = &next;
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
                 let mut th = hh.thread_handle();
                 let mut rng = SmallRng::seed_from_u64(seed ^ ((w as u64) << 40));
                 // Per-worker connection pool (retained allocations) and a
                 // slab of pointer slots standing in for connection state.
                 let slab = th.malloc(512 * 8).expect("worker slab");
                 let mut pool: Vec<Addr> = Vec::new();
+                let mut lats: Vec<u64> = Vec::new();
                 let mut spin_acc = 0u64;
                 while next.fetch_add(1, Ordering::Relaxed) < requests {
+                    let req_start = Instant::now();
                     spin_acc ^= spin(compute_per_request, seed ^ w as u64);
                     // Parse + build the request/response object graph.
                     let mut request_objs: Vec<(Addr, u64)> = Vec::new();
@@ -120,25 +132,42 @@ where
                             th.free(base).expect("req free");
                         }
                     }
+                    lats.push(req_start.elapsed().as_nanos() as u64);
                 }
                 std::hint::black_box(spin_acc);
                 for base in pool {
                     th.free(base).expect("pool free");
                 }
-            });
+                lats
+            }));
+        }
+        for h in handles {
+            latencies_ns.extend(h.join().expect("worker"));
         }
     });
     let elapsed = start.elapsed();
     for b in static_blocks {
         hh.free(b).expect("static free");
     }
+    latencies_ns.sort_unstable();
     ServerResult {
         name: profile.name.to_string(),
         detector: hh.detector().name().to_string(),
         requests,
         rps: requests as f64 / elapsed.as_secs_f64(),
+        p50_ns: percentile(&latencies_ns, 50),
+        p99_ns: percentile(&latencies_ns, 99),
         heap_resident: hh.heap().resident_bytes(),
         metadata_bytes: hh.detector().metadata_bytes(),
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample; 0 for an
+/// empty one.
+fn percentile(sorted_ns: &[u64], pct: u64) -> u64 {
+    match sorted_ns.len() {
+        0 => 0,
+        n => sorted_ns[((n as u64 - 1) * pct / 100) as usize],
     }
 }
 
@@ -156,7 +185,19 @@ mod tests {
             let r = run_server(p, 500, 0, &hh, 1);
             assert_eq!(r.requests, 500);
             assert!(r.rps > 0.0);
+            assert!(r.p50_ns > 0, "median latency must be measured");
+            assert!(r.p99_ns >= r.p50_ns, "percentiles out of order");
         }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
     }
 
     #[test]

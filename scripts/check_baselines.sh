@@ -5,14 +5,19 @@
 # Usage: scripts/check_baselines.sh
 #
 # Fails if:
-#   - BENCH_hotpath.json is missing, unparsable, missing any of the nine
+#   - BENCH_hotpath.json is missing, unparsable, missing any of the ten
 #     gated benches, or locks in a sub-1.0x speedup on a core bench
-#     (registerptr, ptr2obj, malloc_free, invalidate) or a deferred-free
+#     (registerptr, ptr2obj, malloc_free, invalidate), a deferred-free
 #     bench (free_many_objs, free_while_reg — the deferred sweep must
-#     keep mutator-visible free cheaper than the inline walk),
+#     keep mutator-visible free cheaper than the inline walk), or the
+#     routed bench (malloc_free_thin — adaptive routing must beat
+#     forced-Standard on a clean-site churn, or it has no reason to
+#     exist),
 #   - either BENCH_*.json carries the wrong schema string,
-#   - BENCH_scaling.json is missing, unparsable, or missing its derived
-#     figures / recorded core count,
+#   - BENCH_scaling.json is missing, unparsable, missing its derived
+#     figures / recorded core count, or missing the per-cell queue
+#     observability keys (sweep_steals, sweep_shard_peak_0, p50_ns,
+#     p99_ns) the scaling schema now carries,
 #   - the committed scaling numbers miss their floors. The 4t/1t floor is
 #     keyed on the baseline's own recorded "cores" value, because a
 #     1-core machine cannot honestly show a 4-thread speedup:
@@ -28,12 +33,16 @@ cd "$(dirname "$0")/.."
 
 HOTPATH_BENCHES="registerptr ptr2obj malloc_free invalidate \
                  free_many_ptrs free_many_objs free_while_reg \
-                 sweep_total trace_off"
+                 sweep_total malloc_free_thin trace_off"
 CORE_BENCHES="registerptr ptr2obj malloc_free invalidate"
 # Deferred-free benches: committed with deferred_sweep on, the speedup
 # column is deferred-over-inline on identical free traffic, so anything
 # below 1.0 means the deferred sweep failed to make free cheaper.
 DEFERRED_BENCHES="free_many_objs free_while_reg"
+# Routed bench: the speedup column is site-policy-on over forced-Standard
+# on an identical clean-site churn; below 1.0 means the Thin fast path
+# failed to reclaim the work it exists to skip.
+ROUTED_BENCHES="malloc_free_thin"
 
 status=0
 
@@ -102,7 +111,7 @@ if [[ -f "$hotpath" ]]; then
         v=$(num_of "$hotpath" speedup "$bench")
         check_num "$hotpath" "$bench.speedup" "$v" 0 || status=1
     done
-    for bench in $CORE_BENCHES $DEFERRED_BENCHES; do
+    for bench in $CORE_BENCHES $DEFERRED_BENCHES $ROUTED_BENCHES; do
         v=$(num_of "$hotpath" speedup "$bench")
         check_num "$hotpath" "$bench.speedup" "$v" 1.0 || status=1
     done
@@ -130,6 +139,14 @@ if [[ -f "$scaling" ]]; then
     v=$(num_of "$scaling" dangsan_parallel_efficiency_4t)
     check_num "$scaling" "dangsan_parallel_efficiency_4t" "$v" \
         "$(awk -v f="$floor4" 'BEGIN { print f / 4 }')" || status=1
+    # Schema lint: the per-cell observability keys added with the routed
+    # bench rows must be present in the dangsan arm (floor 0 — presence
+    # and parsability, not magnitude: steal counts and queue depths are
+    # load-shaped, latencies are machine-shaped).
+    for key in sweep_steals sweep_shard_peak_0 p50_ns p99_ns; do
+        v=$(num_of "$scaling" "$key" dangsan)
+        check_num "$scaling" "dangsan.t1.$key" "$v" 0 || status=1
+    done
 fi
 
 [[ $status -eq 0 ]] || exit 1

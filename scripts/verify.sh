@@ -70,7 +70,7 @@ echo "== bench gates: tolerance ${tol}% (current/baseline floor ${floor}) =="
 
 ALL_BENCHES="registerptr ptr2obj malloc_free invalidate \
              free_many_ptrs free_many_objs free_while_reg \
-             sweep_total trace_off"
+             sweep_total malloc_free_thin trace_off"
 
 echo "== hotpath --quick =="
 tmp_hotpath=$(mktemp /tmp/hotpath.XXXXXX.json)
@@ -126,6 +126,26 @@ awk -v now="$now" 'BEGIN {
         exit 1
     }
     printf "verify: trace_overhead   OK — Off/traced ratio %.3f >= 0.980\n", now
+}' || status=1
+
+# Gate: thin_routing — the adaptive router's fast path must WIN. The
+# malloc_free_thin speedup column is a same-run ratio (site-policy-on
+# throughput over forced-Standard on an identical clean-site churn), so
+# > 1.0 means routing reclaims real per-free work; scaled by the
+# tolerance like every current-run gate. check_baselines.sh holds the
+# unscaled 1.0 line on the committed file.
+now=$(speedup_of "$tmp_hotpath" malloc_free_thin)
+awk -v now="$now" -v tolf="$floor" 'BEGIN {
+    eff = 1.0 * tolf
+    if (now == "" || now + 0 != now) {
+        printf "verify: FAIL — hotpath quick run produced no parsable malloc_free_thin speedup\n"
+        exit 1
+    }
+    if (now + 0 < eff) {
+        printf "verify: FAIL — thin_routing: routed/standard ratio %.3f < %.3f (the thin path must win)\n", now, eff
+        exit 1
+    }
+    printf "verify: thin_routing      OK — routed/standard ratio %.3f >= %.3f\n", now, eff
 }' || status=1
 
 echo "== scaling --quick =="
