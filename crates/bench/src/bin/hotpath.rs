@@ -153,6 +153,43 @@ fn bench_trace_off(rounds: u64, untraced: bool) -> Measurement {
     }
 }
 
+/// Telemetry ablation twin of [`bench_trace_off`]: the "off" column runs
+/// the full malloc/register/free lifecycle with the metrics hub live — a
+/// 5 ms sampler pulling every detector gauge concurrently — and the "on"
+/// column runs the identical loop with `metrics=false`, where the
+/// detector builds no hub at all. Because the registry is pull-based the
+/// hot paths carry no metrics sites, so the speedup column (no-metrics /
+/// metrics throughput) should sit at ~1.0; `scripts/verify.sh` gates it
+/// at 0.98, the same contract the flight recorder's Off mode keeps.
+fn bench_metrics_off(rounds: u64, unmetered: bool) -> Measurement {
+    let cfg = if unmetered {
+        Config::default()
+    } else {
+        Config::default()
+            .with_metrics(true)
+            .with_metrics_interval_ms(5)
+    };
+    let mem = Arc::new(AddressSpace::new());
+    let heap = Heap::new(Arc::clone(&mem));
+    let det = DangSan::new(Arc::clone(&mem), cfg);
+    let holder = heap.malloc(8).expect("holder");
+    det.on_alloc(&holder);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let obj = heap.malloc(64).expect("obj");
+        det.on_alloc(&obj);
+        mem.write_word(holder.base, obj.base).expect("store");
+        det.register_ptr(holder.base, obj.base);
+        det.on_free(obj.base);
+        heap.free(obj.base).expect("free");
+    }
+    let t = start.elapsed().as_secs_f64();
+    Measurement {
+        ops_per_sec: rounds as f64 / t,
+        ops: rounds,
+    }
+}
+
 /// `registerptr` repeated-store: the pattern the caches target — a loop
 /// repeatedly storing pointers to one long-lived object into a reused
 /// window of locations (a pointer array being rewritten). 256 distinct
@@ -378,6 +415,13 @@ fn bench_free_while_registering(rounds: u64, opt: bool) -> Measurement {
                 mem.write_word(loc, val).expect("store");
                 det.register_ptr(loc, val);
                 i += 1;
+                // Registrations must race the frees, not starve them: on a
+                // single-core runner an unyielding spin loop can hold the
+                // CPU for a whole timed rep, collapsing whichever side it
+                // lands on by ~3x and flipping the verify gate at random.
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
             }
         })
     };
@@ -561,7 +605,7 @@ fn main() {
 
     let (reps, scale) = if quick { (3, 1u64) } else { (7, 8u64) };
     type Bench = fn(u64, bool) -> Measurement;
-    let benches: [(&str, Bench, u64); 10] = [
+    let benches: [(&str, Bench, u64); 11] = [
         ("registerptr", bench_registerptr, 400_000 * scale),
         ("ptr2obj", bench_ptr2obj, 800_000 * scale),
         ("malloc_free", bench_malloc_free, 20_000 * scale),
@@ -576,6 +620,7 @@ fn main() {
         ("sweep_total", bench_sweep_total, 2_000 * scale),
         ("malloc_free_thin", bench_malloc_free_thin, 2_000 * scale),
         ("trace_off", bench_trace_off, 20_000 * scale),
+        ("metrics_off", bench_metrics_off, 20_000 * scale),
     ];
 
     let mut doc = Json::obj();

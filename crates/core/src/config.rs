@@ -93,6 +93,18 @@ pub struct Config {
     /// reported site traps for longer. `0` disables pinning. Ignored
     /// in synchronous mode (Hardened then behaves like Standard).
     pub hardened_pin_objects: u64,
+    /// Enable the live telemetry plane (DESIGN.md §6): [`crate::DangSan::new`]
+    /// creates a pull-based metrics hub, registers the detector's gauge
+    /// and counter sources (quarantine levels, sweep-shard depths, site
+    /// tier populations, cache hit rates) and starts a sampler thread
+    /// emitting a JSONL time series every [`Config::metrics_interval_ms`].
+    /// Off (the default) creates nothing: the registry is pull-based, so
+    /// the detector's malloc/store/free paths carry no metrics sites at
+    /// all and a telemetry-aware call site pays at most one relaxed
+    /// load + untaken branch.
+    pub metrics: bool,
+    /// Sampler cadence in milliseconds when [`Config::metrics`] is on.
+    pub metrics_interval_ms: u64,
 }
 
 impl Default for Config {
@@ -115,6 +127,8 @@ impl Default for Config {
             site_policy: false,
             thin_min_frees: 64,
             hardened_pin_objects: 64,
+            metrics: false,
+            metrics_interval_ms: 100,
         }
     }
 }
@@ -209,6 +223,18 @@ impl Config {
         self.hardened_pin_objects = objects;
         self
     }
+
+    /// Returns a copy with the live telemetry plane toggled.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Returns a copy with a different sampler cadence (milliseconds).
+    pub fn with_metrics_interval_ms(mut self, ms: u64) -> Self {
+        self.metrics_interval_ms = ms;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +252,16 @@ mod tests {
         assert_eq!(c.trace_level, TraceLevel::Off, "tracing is an opt-in");
         assert!(!c.deferred_sweep, "the paper sweeps synchronously at free");
         assert!(!c.site_policy, "adaptive routing is an opt-in extension");
+        assert!(!c.metrics, "the telemetry plane is an opt-in");
+    }
+
+    #[test]
+    fn metrics_builders() {
+        let c = Config::default()
+            .with_metrics(true)
+            .with_metrics_interval_ms(25);
+        assert!(c.metrics);
+        assert_eq!(c.metrics_interval_ms, 25);
     }
 
     #[test]

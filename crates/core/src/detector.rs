@@ -1,6 +1,6 @@
 //! The DangSan detector: pointer tracker + pointer logger + invalidation.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::ptr;
 use std::sync::{Arc, Mutex, Weak};
@@ -25,6 +25,7 @@ use crate::policy::{SitePolicy, Tier};
 use crate::pool::{Pool, ScratchPool};
 use crate::stats::{Hot, Stats, StatsSnapshot};
 use crate::sweep::{LogChain, MetaRef, ObjectSweep, SweepBatch, SweepJob, SweepQueue, SPLIT_PAGES};
+use dangsan_telemetry::{Collector, MetricsHub, Sampler};
 
 /// This thread's stable small integer id.
 ///
@@ -238,6 +239,19 @@ pub struct DangSan {
     /// [`Detector::bind_heap`]); a retiring sweep requeues its
     /// quarantined block here.
     heap: Mutex<Weak<Heap>>,
+    /// The telemetry hub; `Some` exactly when `Config::metrics` is on.
+    /// Pull-based: sources registered here read the counters the
+    /// detector already keeps, so the malloc/store/free paths carry no
+    /// metrics sites at all.
+    metrics: Option<Arc<MetricsHub>>,
+    /// The sampler thread emitting the JSONL time series; stopped and
+    /// joined by its own `Drop`, which runs after the sweep shutdown in
+    /// [`Drop for DangSan`] (field order) — by then the hub's detector
+    /// source fails its `Weak` upgrade and samples only heap gauges.
+    sampler: Mutex<Option<Sampler>>,
+    /// Whether [`Detector::bind_heap`] already registered the heap
+    /// gauges, so re-binding cannot duplicate them.
+    heap_gauges_bound: AtomicBool,
 }
 
 impl DangSan {
@@ -278,7 +292,23 @@ impl DangSan {
                 .then(|| Arc::new(SitePolicy::new(cfg.thin_min_frees))),
             workers: Mutex::new(Vec::new()),
             heap: Mutex::new(Weak::new()),
+            metrics: cfg.metrics.then(MetricsHub::new),
+            sampler: Mutex::new(None),
+            heap_gauges_bound: AtomicBool::new(false),
         });
+        if let Some(hub) = &det.metrics {
+            // The source holds only a Weak: collection cannot keep a
+            // dropped detector alive, and an upgrade failure (mid-drop
+            // sampling) is simply an empty contribution.
+            let weak = Arc::downgrade(&det);
+            hub.register_source(move |c| {
+                if let Some(det) = weak.upgrade() {
+                    det.collect_metrics(c);
+                }
+            });
+            let interval = std::time::Duration::from_millis(cfg.metrics_interval_ms.max(1));
+            *det.sampler.lock().expect("not poisoned") = Some(hub.start_sampler(interval));
+        }
         if let Some(queue) = sweep {
             // Workers hold only a Weak: they cannot keep a dropped
             // detector alive, and an upgrade failure is their signal that
@@ -320,6 +350,55 @@ impl DangSan {
     /// The site-profile table, when `Config::site_policy` is on.
     pub fn site_policy(&self) -> Option<&SitePolicy> {
         self.policy.as_deref()
+    }
+
+    /// The telemetry hub created by [`DangSan::new`], when
+    /// `Config::metrics` is on. Register extra sources or histograms on
+    /// it (e.g. a workload's latency histograms) and they ride the same
+    /// sampler time series; call [`MetricsHub::prometheus`] for a text
+    /// exposition dump.
+    pub fn metrics(&self) -> Option<&Arc<MetricsHub>> {
+        self.metrics.as_ref()
+    }
+
+    /// The detector's metrics source: every gauge and counter here is
+    /// read from state the hot paths already maintain, so sampling costs
+    /// the detector nothing between pulls. Counter names match the
+    /// [`StatsSnapshot`] fields they mirror; `dangsan-bench --bin
+    /// metrics_report` reconciles the two exactly.
+    fn collect_metrics(&self, c: &mut Collector) {
+        let snap = Detector::stats(self);
+        c.counter("objects_allocated", snap.objects_allocated);
+        c.counter("objects_freed", snap.objects_freed);
+        c.counter("ptrs_registered", snap.ptrs_registered);
+        c.counter("ptrs_invalidated", snap.ptrs_invalidated);
+        c.counter("tlb_hits", snap.tlb_hits);
+        c.counter("tlb_misses", snap.tlb_misses);
+        c.counter("ptr2obj_cache_hits", snap.ptr2obj_cache_hits);
+        c.counter("ptr2obj_cache_misses", snap.ptr2obj_cache_misses);
+        c.counter("frees_deferred", snap.frees_deferred);
+        c.counter("sweeps_backpressure", snap.sweeps_backpressure);
+        c.counter("sweep_steals", snap.sweep_steals);
+        c.gauge("metadata_bytes", Detector::metadata_bytes(self));
+        if let Some(queue) = &self.sweep {
+            c.gauge("quarantine_objects", queue.pending());
+            c.gauge("quarantine_bytes", queue.pending_bytes());
+            for (i, depth) in queue.shard_depths().iter().enumerate() {
+                c.gauge(&format!("sweep_shard_depth_{i}"), *depth);
+            }
+            for (i, peak) in snap.sweep_shard_peaks.iter().enumerate() {
+                c.gauge(&format!("sweep_shard_peak_{i}"), *peak);
+            }
+        }
+        if let Some(policy) = &self.policy {
+            let census = policy.census();
+            c.gauge("sites_thin", census.thin);
+            c.gauge("sites_standard", census.standard);
+            c.gauge("sites_hardened", census.hardened);
+            c.counter("site_demotions", census.demotions);
+            c.counter("routed_thin", snap.routed_thin);
+            c.counter("frees_thin", snap.frees_thin);
+        }
     }
 
     /// The active configuration.
@@ -1457,6 +1536,24 @@ impl Detector for DangSan {
 
     fn bind_heap(&self, heap: &Arc<Heap>) {
         *self.heap.lock().expect("not poisoned") = Arc::downgrade(heap);
+        let Some(hub) = &self.metrics else {
+            return;
+        };
+        // Register the allocator gauges once; re-binding (or binding a
+        // replacement heap) must not duplicate the source.
+        if self.heap_gauges_bound.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let weak = Arc::downgrade(heap);
+        hub.register_source(move |c| {
+            if let Some(heap) = weak.upgrade() {
+                c.gauge("heap_resident_bytes", heap.resident_bytes());
+                c.gauge("heap_magazine_blocks", heap.magazine_blocks());
+                for (i, blocks) in heap.central_shard_blocks().iter().enumerate() {
+                    c.gauge(&format!("heap_central_blocks_{i}"), *blocks);
+                }
+            }
+        });
     }
 
     fn stats(&self) -> StatsSnapshot {

@@ -608,7 +608,6 @@ mod tests {
         let hh = setup_with(cfg);
         dangsan_trace::set_alloc_site(0);
         let holders = hh.malloc(8 * 64).unwrap();
-        let mut slot = 0u64;
         for round in 0..40u64 {
             dangsan_trace::set_alloc_site(0xA1);
             for _ in 0..3 {
@@ -617,8 +616,7 @@ mod tests {
             }
             dangsan_trace::set_alloc_site(0xB2);
             let obj = hh.malloc(16 + (round % 5) * 16).unwrap();
-            let loc = holders.base + slot * 8;
-            slot += 1;
+            let loc = holders.base + round * 8;
             hh.store_ptr(loc, obj.base).unwrap();
             hh.free(obj.base).unwrap();
         }

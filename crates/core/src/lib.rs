@@ -87,5 +87,11 @@ pub use dangsan_trace::{
     forensics, set_alloc_site, Event, EventCode, TraceLevel, Tracer, UafReport,
 };
 
+// The telemetry plane (`dangsan-telemetry`) re-exported at the top
+// level: `Config::metrics` makes `DangSan::new` build a `MetricsHub`,
+// and workloads register their latency `Histogram`s on it.
+pub use dangsan_telemetry as telemetry;
+pub use policy::TierCensus;
+
 /// A shareable, thread-safe detector handle.
 pub type SharedDetector = std::sync::Arc<dyn Detector + Send + Sync>;

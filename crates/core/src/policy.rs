@@ -113,6 +113,23 @@ pub struct SiteEvidence {
     pub lifetime_hist: [u64; LIFETIME_BUCKETS],
 }
 
+/// A whole-table census: how many slots currently route each tier, and
+/// the accumulated demotion / free totals (the demotion *rate* is
+/// `demotions / frees`). See [`SitePolicy::census`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCensus {
+    /// Slots that would route Thin right now.
+    pub thin: u64,
+    /// Slots that would route Standard right now.
+    pub standard: u64,
+    /// Slots that would route Hardened right now.
+    pub hardened: u64,
+    /// Total Thin-prediction contradictions across the table.
+    pub demotions: u64,
+    /// Total frees witnessed across the table.
+    pub frees: u64,
+}
+
 /// Lock-free site-profile table + router (see the module docs).
 pub struct SitePolicy {
     slots: Box<[SiteProfile; SITE_SLOTS]>,
@@ -191,6 +208,27 @@ impl SitePolicy {
     /// Hardened from now on.
     pub fn note_uaf(&self, site: u64) {
         self.slot(site).uaf_reports.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts every slot's *current* routing decision plus the table's
+    /// accumulated demotions and frees — the telemetry plane's
+    /// tier-population gauges. Cold (scans all [`SITE_SLOTS`] slots);
+    /// each slot is classified by exactly the [`SitePolicy::route`]
+    /// logic, so the census answers "what would an allocation from each
+    /// slot get right now".
+    pub fn census(&self) -> TierCensus {
+        let mut c = TierCensus::default();
+        for i in 0..SITE_SLOTS {
+            match self.route(i as u64) {
+                Tier::Thin => c.thin += 1,
+                Tier::Standard => c.standard += 1,
+                Tier::Hardened => c.hardened += 1,
+            }
+            let s = &self.slots[i];
+            c.demotions += s.demotions.load(Ordering::Relaxed);
+            c.frees += s.frees.load(Ordering::Relaxed);
+        }
+        c
     }
 
     /// Snapshot of one site's slot (merged with any colliding sites).

@@ -295,6 +295,22 @@ impl SweepQueue {
         self.pending.load(Ordering::Acquire)
     }
 
+    /// Estimated bytes held by pending sweeps (the quarantine charge).
+    pub(crate) fn pending_bytes(&self) -> u64 {
+        self.pending_bytes.load(Ordering::Acquire)
+    }
+
+    /// Each shard's *current* backlog depth (jobs queued right now; the
+    /// telemetry gauge twin of the monotone [`SweepQueue::shard_peaks`]).
+    /// One short lock per shard — cold, collection-path only.
+    pub(crate) fn shard_depths(&self) -> [u64; SWEEP_SHARDS] {
+        let mut out = [0u64; SWEEP_SHARDS];
+        for (o, shard) in out.iter_mut().zip(self.shards.iter()) {
+            *o = shard.lock().expect("not poisoned").len() as u64;
+        }
+        out
+    }
+
     /// Whether the quarantine exceeds either cap (freeing threads must
     /// help-drain once it does).
     pub(crate) fn over_cap(&self) -> bool {

@@ -21,7 +21,7 @@ pub(crate) const BATCH: usize = 32;
 /// Shards per central free list. Threads home to a shard round-robin, so
 /// the rare spill/refill batches from different threads usually take
 /// different locks even within one size class.
-pub(crate) const CENTRAL_SHARDS: usize = 4;
+pub const CENTRAL_SHARDS: usize = 4;
 
 /// Never-reused heap identity for the TLS magazine bindings.
 static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
@@ -177,6 +177,20 @@ impl Heap {
     pub fn magazine_blocks(&self) -> u64 {
         let reg = self.mag_registry.lock().expect("not poisoned");
         reg.iter().map(|c| c.blocks()).sum()
+    }
+
+    /// Free blocks currently parked on each central-list shard, summed
+    /// across size classes — the telemetry plane's shard-balance gauge
+    /// (a heavily skewed distribution means thread homes are clustering
+    /// on one lock). Cold: takes one short lock per (class, shard).
+    pub fn central_shard_blocks(&self) -> [u64; CENTRAL_SHARDS] {
+        let mut out = [0u64; CENTRAL_SHARDS];
+        for class in &self.central {
+            for (o, shard) in out.iter_mut().zip(class.iter()) {
+                *o += shard.lock().expect("not poisoned").len() as u64;
+            }
+        }
+        out
     }
 
     /// Registers a new TLS magazine binding's block counter.

@@ -29,7 +29,7 @@ mod size_classes;
 mod span;
 mod thread_cache;
 
-pub use heap::{Heap, HeapStats, ReallocOutcome};
+pub use heap::{Heap, HeapStats, ReallocOutcome, CENTRAL_SHARDS};
 pub use size_classes::{class_for_size, classes, SizeClass, MAX_SMALL};
 pub use span::{SpanInfo, SpanRegistry};
 pub use thread_cache::ThreadCache;

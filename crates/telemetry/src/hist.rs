@@ -1,0 +1,449 @@
+//! Log-bucketed histograms with single-writer per-thread slabs.
+//!
+//! Bucketing is HDR-style: values below [`SUB`] get one exact bucket
+//! each; every power-of-two octave above that is split into [`SUB`]
+//! linear sub-buckets, so the relative quantization error is bounded by
+//! `1/SUB` (12.5%) across the whole `u64` range — fine-grained enough
+//! for latency percentiles, coarse enough that a slab is a few KiB.
+//!
+//! Recording follows the `dangsan::stats` slab discipline exactly:
+//!
+//! * each (thread, histogram) pair owns one slab of `AtomicU64` buckets;
+//!   only the owning thread writes, with plain load + store — zero RMWs,
+//!   zero locks on the record path;
+//! * slabs register with the histogram's shared registry; a snapshot
+//!   sums the retired totals plus every live slab under the registry
+//!   mutex, so totals are exact for any reader ordered after the
+//!   recording (a `join` or `thread::scope` returning) without waiting
+//!   on TLS destructors;
+//! * thread exit retires the slab — counts move to the shared `retired`
+//!   array under the same lock, so a concurrent snapshot sees them
+//!   exactly once — and histogram ids are never reused, so a stale
+//!   thread-local entry can never alias a new histogram.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, Weak};
+
+/// Bits of linear resolution inside one octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave (and the count of exact low buckets).
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: [`SUB`] exact low values plus `SUB` sub-buckets for
+/// each octave whose leading bit is at position `SUB_BITS..=63`.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index recording `v` increments.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    let shift = octave - SUB_BITS as usize;
+    SUB + shift * SUB + ((v >> shift) & (SUB as u64 - 1)) as usize
+}
+
+/// The smallest value mapping to bucket `idx`.
+pub fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = SUB_BITS as usize + (idx - SUB) / SUB;
+    let sub = ((idx - SUB) % SUB) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS as usize))
+}
+
+/// The largest value mapping to bucket `idx` (inclusive).
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = SUB_BITS as usize + (idx - SUB) / SUB;
+    bucket_low(idx) + ((1u64 << (octave - SUB_BITS as usize)) - 1)
+}
+
+/// One thread's buckets for one histogram. Only the owning thread
+/// writes (plain load + store); any thread may read via the registry.
+struct HistSlab {
+    counts: [AtomicU64; BUCKETS],
+    /// Exact maximum this thread recorded (single-writer, so the
+    /// compare-and-store needs no RMW).
+    max: AtomicU64,
+}
+
+impl HistSlab {
+    fn new() -> HistSlab {
+        HistSlab {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared accumulation target: retired totals plus the live-slab
+/// registry a snapshot walks.
+struct HistShared {
+    retired: [AtomicU64; BUCKETS],
+    retired_max: AtomicU64,
+    live: Mutex<Vec<Arc<HistSlab>>>,
+}
+
+/// Histogram identities are never reused (see the module docs).
+static NEXT_HIST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One thread-local binding: the slab this thread records into for
+/// histogram `id`.
+struct HistEntry {
+    id: u64,
+    slab: Arc<HistSlab>,
+    target: Weak<HistShared>,
+}
+
+impl HistEntry {
+    /// Hands the slab's counts to the shared registry (if it is still
+    /// alive) and deregisters it. Holding the registry lock across the
+    /// handover means a concurrent snapshot sees the counts exactly
+    /// once — in `live` or in `retired`, never neither nor both.
+    fn retire(&self) {
+        if let Some(shared) = self.target.upgrade() {
+            let mut live = shared.live.lock().expect("not poisoned");
+            live.retain(|s| !Arc::ptr_eq(s, &self.slab));
+            for i in 0..BUCKETS {
+                let n = self.slab.counts[i].load(Ordering::Relaxed);
+                if n > 0 {
+                    shared.retired[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            shared
+                .retired_max
+                .fetch_max(self.slab.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// The calling thread's bindings, one per histogram it has recorded
+/// into. A thread records into a handful of histograms (one per request
+/// class), so the linear scan is cheaper than any map — and unlike the
+/// single-slot stats batch, switching histograms costs nothing.
+struct HistBatch {
+    entries: RefCell<Vec<HistEntry>>,
+}
+
+impl Drop for HistBatch {
+    fn drop(&mut self) {
+        // Thread exit: retire every binding so registries don't grow
+        // with thread churn. Exactness never depends on this timing —
+        // live slabs stay readable until retired.
+        for e in self.entries.borrow().iter() {
+            e.retire();
+        }
+    }
+}
+
+thread_local! {
+    static HIST_BATCH: HistBatch = const {
+        HistBatch {
+            entries: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+/// A concurrent log-bucketed histogram (see the module docs).
+pub struct Histogram {
+    shared: Arc<HistShared>,
+    /// Never-reused identity for the thread-local bindings.
+    id: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram").field("id", &self.id).finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            shared: Arc::new(HistShared {
+                retired: [const { AtomicU64::new(0) }; BUCKETS],
+                retired_max: AtomicU64::new(0),
+                live: Mutex::new(Vec::new()),
+            }),
+            id: NEXT_HIST_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Records one value: a thread-local slab lookup plus an uncontended
+    /// load + store on a thread-private line. First record per (thread,
+    /// histogram) registers a slab (cold, takes the registry lock once).
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(v);
+        HIST_BATCH.with(|b| {
+            let mut entries = b.entries.borrow_mut();
+            let pos = match entries.iter().position(|e| e.id == self.id) {
+                Some(pos) => pos,
+                None => {
+                    // Registration is the cold path: drop bindings whose
+                    // histograms died so thread-churn-free programs that
+                    // churn histograms stay bounded, then bind a slab.
+                    entries.retain(|e| e.target.strong_count() > 0);
+                    let slab = Arc::new(HistSlab::new());
+                    self.shared
+                        .live
+                        .lock()
+                        .expect("not poisoned")
+                        .push(Arc::clone(&slab));
+                    entries.push(HistEntry {
+                        id: self.id,
+                        slab,
+                        target: Arc::downgrade(&self.shared),
+                    });
+                    entries.len() - 1
+                }
+            };
+            let slab = &entries[pos].slab;
+            let c = &slab.counts[idx];
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            if v > slab.max.load(Ordering::Relaxed) {
+                slab.max.store(v, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Sums retired totals and every live slab under the registry lock.
+    /// Exact for any reader ordered after the recording (a `join`, or
+    /// `thread::scope` returning).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut max;
+        {
+            let live = self.shared.live.lock().expect("not poisoned");
+            max = self.shared.retired_max.load(Ordering::Relaxed);
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c = self.shared.retired[i].load(Ordering::Relaxed);
+                for slab in live.iter() {
+                    *c += slab.counts[i].load(Ordering::Relaxed);
+                }
+            }
+            for slab in live.iter() {
+                max = max.max(slab.max.load(Ordering::Relaxed));
+            }
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot { counts, count, max }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: plain data, mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact largest value recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Adds `other`'s counts into this snapshot (exact: both are sums
+    /// of disjoint slab sets when taken from distinct histograms).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile (`pct` in 0..=100). Returns the upper
+    /// bound of the bucket holding the ranked value, clamped to the
+    /// exact recorded maximum — so the quantization error is bounded by
+    /// the bucket width (≤ 12.5% relative) and `percentile(100)` is the
+    /// exact max. 0 for an empty histogram.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`percentile(50)`).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile — the tail the server gates watch.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_contiguous_and_monotone() {
+        // Every bucket's low maps back to its own index, highs chain
+        // into the next bucket's low, and indices never decrease.
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_low(idx)), idx, "low of {idx}");
+            assert_eq!(bucket_index(bucket_high(idx)), idx, "high of {idx}");
+            if idx + 1 < BUCKETS {
+                assert_eq!(bucket_high(idx) + 1, bucket_low(idx + 1), "gap at {idx}");
+            }
+        }
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 7, 8, 9, 255, 256, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "v={v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_max_is_exact() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 100_000);
+        let (p50, p99, p999) = (s.p50(), s.p99(), s.p999());
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= s.max());
+        assert_eq!(s.percentile(100.0), 100_000, "p100 is the exact max");
+        // Bucket quantization is bounded: p50 within 12.5% above 50_000.
+        assert!((50_000..=57_000).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn counts_exact_across_scope_exit_and_join() {
+        let h = Histogram::new();
+        const THREADS: u64 = 4;
+        const EACH: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..EACH {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        // Exact immediately after the scope returns, even though the
+        // workers' TLS destructors may not have run yet.
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS * EACH);
+        assert_eq!(s.max(), (THREADS - 1) * 1_000_000 + EACH - 1);
+
+        // And again after a plain spawn + join (destructors have run for
+        // some workers by now; retired totals must hold their counts).
+        let h2 = Arc::new(Histogram::new());
+        let hh = Arc::clone(&h2);
+        std::thread::spawn(move || {
+            for i in 0..EACH {
+                hh.record(i);
+            }
+        })
+        .join()
+        .expect("recorder");
+        assert_eq!(h2.snapshot().count(), EACH);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for i in 0..500u64 {
+            a.record(i);
+            b.record(i + 1_000_000);
+        }
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1_000_499);
+    }
+
+    #[test]
+    fn thread_switching_between_histograms_keeps_both_exact() {
+        // Unlike the single-slot stats batch, alternating histograms on
+        // one thread must not retire anything (each keeps its own slab).
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for i in 0..100u64 {
+            a.record(i);
+            b.record(i);
+        }
+        assert_eq!(a.snapshot().count(), 100);
+        assert_eq!(b.snapshot().count(), 100);
+    }
+
+    #[test]
+    fn dropped_histogram_bindings_are_pruned() {
+        // Recording into a long-dead histogram's id slot must not leak:
+        // the next registration prunes bindings whose target died.
+        for _ in 0..64 {
+            let h = Histogram::new();
+            h.record(7);
+            drop(h);
+        }
+        let h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.snapshot().count(), 1);
+        HIST_BATCH.with(|b| {
+            assert!(
+                b.entries.borrow().len() <= 2,
+                "dead bindings must be pruned"
+            );
+        });
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+    }
+}

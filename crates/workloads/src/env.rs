@@ -108,6 +108,28 @@ pub fn site_policy_env_overrides(mut cfg: Config) -> Config {
     cfg
 }
 
+/// Environment-variable overrides for the telemetry knobs, mirroring
+/// [`sweep_env_overrides`]: `METRICS=on|1` enables the live metrics hub
+/// and sampler (`off|0` forces them off) and `METRICS_INTERVAL_MS=N`
+/// sets the sampler cadence. Unset variables leave `cfg` untouched.
+/// Applied by the perf harnesses (so the CI `METRICS` matrix axis
+/// reaches them); the detection tests pin their own configs.
+pub fn metrics_env_overrides(mut cfg: Config) -> Config {
+    if let Ok(v) = std::env::var("METRICS") {
+        match v.trim() {
+            "on" | "1" => cfg = cfg.with_metrics(true),
+            "off" | "0" => cfg = cfg.with_metrics(false),
+            _ => {}
+        }
+    }
+    if let Ok(v) = std::env::var("METRICS_INTERVAL_MS") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            cfg = cfg.with_metrics_interval_ms(n);
+        }
+    }
+    cfg
+}
+
 /// A fresh single-threaded environment (any detector kind).
 pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
     let mem = Arc::new(AddressSpace::new());
@@ -243,6 +265,29 @@ mod tests {
         std::env::remove_var("SITE_POLICY");
         std::env::remove_var("THIN_MIN_FREES");
         std::env::remove_var("HARDENED_PINS");
+
+        // Telemetry axis, same discipline (and same single-test rule).
+        let base = Config::default();
+        let cfg = metrics_env_overrides(base);
+        assert_eq!(cfg.metrics, base.metrics);
+        assert_eq!(cfg.metrics_interval_ms, base.metrics_interval_ms);
+
+        std::env::set_var("METRICS", "1");
+        std::env::set_var("METRICS_INTERVAL_MS", "25");
+        let cfg = metrics_env_overrides(Config::default());
+        assert!(cfg.metrics);
+        assert_eq!(cfg.metrics_interval_ms, 25);
+
+        std::env::set_var("METRICS", "off");
+        let cfg = metrics_env_overrides(Config::default().with_metrics(true));
+        assert!(!cfg.metrics, "explicit off beats the built config");
+
+        std::env::set_var("METRICS", "banana");
+        let cfg = metrics_env_overrides(Config::default());
+        assert!(!cfg.metrics, "unparsable values leave cfg untouched");
+
+        std::env::remove_var("METRICS");
+        std::env::remove_var("METRICS_INTERVAL_MS");
     }
 
     #[test]

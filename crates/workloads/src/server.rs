@@ -8,16 +8,63 @@
 //! object graph, links it up with pointer stores, optionally retains part
 //! of it in per-connection pools (Apache's memory behaviour), and frees
 //! the rest.
+//!
+//! Latency is accumulated in lock-free log-bucketed histograms
+//! ([`dangsan_telemetry::Histogram`], ≤12.5% relative bucket error)
+//! rather than per-request `Vec`s, so memory stays bounded at any
+//! request count and the percentile lines extend to p999. Requests are
+//! drawn from three classes hashed deterministically from the request
+//! index — `static` file serving (a light graph), `dynamic` page builds
+//! (the full profile graph) and `churn` session teardowns (the worker's
+//! retained pool is freed and rebuilt) — each with its own histogram.
+//!
+//! Two load modes:
+//!
+//! * **closed-loop** ([`run_server`]): workers issue the next request as
+//!   soon as the previous one finishes; latency is service time. This is
+//!   the capacity probe.
+//! * **open-loop** ([`ServerOptions::offered_rps`]): request `i` is
+//!   *scheduled* at `start + i/rate` regardless of completions, and
+//!   latency is measured from that scheduled arrival — so queueing delay
+//!   under a fixed offered load shows up in the tail, the way production
+//!   dashboards measure it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use dangsan::telemetry::{Histogram, HistogramSnapshot, MetricsHub};
 use dangsan::{Detector, HookedHeap};
 use dangsan_vmem::rng::SmallRng;
 use dangsan_vmem::Addr;
 
 use crate::cost::spin;
 use crate::profiles::ServerProfile;
+
+/// The request mix: name and share (percent) of each class, drawn by a
+/// deterministic hash of the request index so every detector arm serves
+/// the identical schedule.
+const CLASS_STATIC: usize = 0;
+const CLASS_DYNAMIC: usize = 1;
+const CLASS_CHURN: usize = 2;
+const CLASS_NAMES: [&str; 3] = ["static", "dynamic", "churn"];
+
+/// Per-class latency summary, read off that class's histogram.
+#[derive(Debug, Clone)]
+pub struct ClassLatency {
+    /// Class name (`static`, `dynamic` or `churn`).
+    pub class: &'static str,
+    /// Requests of this class served.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
 
 /// Result of a server benchmark run.
 #[derive(Debug, Clone)]
@@ -30,16 +77,32 @@ pub struct ServerResult {
     pub requests: u64,
     /// Requests per second.
     pub rps: f64,
+    /// Offered load for an open-loop run; `None` for closed-loop.
+    pub offered_rps: Option<f64>,
     /// Median per-request wall time in nanoseconds (ApacheBench's
     /// "50% served within" line).
     pub p50_ns: u64,
     /// 99th-percentile per-request wall time in nanoseconds — the tail
     /// a thin-routed fast path is supposed to shave.
     pub p99_ns: u64,
+    /// 99.9th-percentile latency, the dashboard tail.
+    pub p999_ns: u64,
+    /// Exact maximum latency.
+    pub max_ns: u64,
+    /// Per-request-class latency breakdown.
+    pub classes: Vec<ClassLatency>,
+    /// Churn requests that tore down (and freed) a worker's session pool.
+    pub sessions_churned: u64,
     /// Simulated resident memory (heap) at the end.
     pub heap_resident: u64,
     /// Detector metadata bytes.
     pub metadata_bytes: u64,
+    /// The live latency histograms behind the percentile fields, keyed
+    /// by registered metric name (overall first, then one per class).
+    /// A hub holds only `Weak` references, so keeping these in the
+    /// result is what keeps the latency gauges exportable after the
+    /// run — drop the result and they leave the export.
+    pub latency_hists: Vec<(String, Arc<Histogram>)>,
 }
 
 impl ServerResult {
@@ -49,7 +112,37 @@ impl ServerResult {
     }
 }
 
-/// Runs `requests` total requests through `profile.workers` workers.
+/// Optional knobs for [`run_server_opts`].
+#[derive(Default)]
+pub struct ServerOptions {
+    /// Open-loop offered load in requests/second; `None` runs closed-loop.
+    pub offered_rps: Option<f64>,
+    /// A telemetry hub to register the live latency histograms on: the
+    /// sampler's time series then carries `server_latency_ns_p99` etc.
+    /// next to the detector's own gauges.
+    pub hub: Option<Arc<MetricsHub>>,
+}
+
+/// SplitMix64 finalizer: the deterministic request-index → class hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Class of request `index`: 60% static, 35% dynamic, 5% churn.
+fn class_of(index: u64, seed: u64) -> usize {
+    match mix(index ^ seed.rotate_left(17)) % 100 {
+        0..=59 => CLASS_STATIC,
+        60..=94 => CLASS_DYNAMIC,
+        _ => CLASS_CHURN,
+    }
+}
+
+/// Runs `requests` total requests through `profile.workers` workers,
+/// closed-loop (each worker issues the next request as soon as the
+/// previous completes).
 ///
 /// `compute_per_request` is the calibrated request-processing work
 /// (parsing, response formatting, syscall time) that accompanies the
@@ -64,6 +157,43 @@ pub fn run_server<D>(
 where
     D: Detector + Send + Sync + ?Sized,
 {
+    run_server_opts(
+        profile,
+        requests,
+        compute_per_request,
+        hh,
+        seed,
+        &ServerOptions::default(),
+    )
+}
+
+/// [`run_server`] with open-loop pacing and telemetry options.
+pub fn run_server_opts<D>(
+    profile: &ServerProfile,
+    requests: u64,
+    compute_per_request: u32,
+    hh: &HookedHeap<D>,
+    seed: u64,
+    opts: &ServerOptions,
+) -> ServerResult
+where
+    D: Detector + Send + Sync + ?Sized,
+{
+    // One histogram per request class plus the overall one; workers on
+    // any thread record into per-thread slabs, merged exactly on
+    // snapshot (see `dangsan_telemetry::hist`).
+    let overall = Arc::new(Histogram::new());
+    let class_hists: [Arc<Histogram>; 3] = [
+        Arc::new(Histogram::new()),
+        Arc::new(Histogram::new()),
+        Arc::new(Histogram::new()),
+    ];
+    if let Some(hub) = &opts.hub {
+        hub.register_histogram("server_latency_ns", &overall);
+        for (name, h) in CLASS_NAMES.iter().zip(class_hists.iter()) {
+            hub.register_histogram(&format!("server_latency_{name}_ns"), h);
+        }
+    }
     // Static content / caches loaded at startup.
     let mut static_blocks = Vec::new();
     let mut left = profile.static_bytes;
@@ -73,35 +203,78 @@ where
         left -= chunk;
     }
     let next = AtomicU64::new(0);
+    let churned = AtomicU64::new(0);
+    let ns_per_req = opts.offered_rps.map(|rps| 1e9 / rps.max(1e-9));
     let start = Instant::now();
-    // Per-request wall times, merged across workers for the percentile
-    // lines ApacheBench prints alongside throughput.
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests as usize);
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
         for w in 0..profile.workers {
             let hh = hh.clone();
             let next = &next;
-            handles.push(scope.spawn(move || {
+            let churned = &churned;
+            let overall = &overall;
+            let class_hists = &class_hists;
+            scope.spawn(move || {
                 let mut th = hh.thread_handle();
                 let mut rng = SmallRng::seed_from_u64(seed ^ ((w as u64) << 40));
                 // Per-worker connection pool (retained allocations) and a
                 // slab of pointer slots standing in for connection state.
                 let slab = th.malloc(512 * 8).expect("worker slab");
                 let mut pool: Vec<Addr> = Vec::new();
-                let mut lats: Vec<u64> = Vec::new();
                 let mut spin_acc = 0u64;
-                while next.fetch_add(1, Ordering::Relaxed) < requests {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        break;
+                    }
+                    let class = class_of(i, seed);
+                    // Open loop: request `i` arrives at start + i/rate;
+                    // wait for it if we are early, and measure from the
+                    // scheduled arrival either way so queueing delay is
+                    // part of the latency.
+                    let sched_ns = ns_per_req.map(|step| (step * i as f64) as u64);
+                    if let Some(sched) = sched_ns {
+                        loop {
+                            let now = start.elapsed().as_nanos() as u64;
+                            if now >= sched {
+                                break;
+                            }
+                            let behind = sched - now;
+                            if behind > 200_000 {
+                                std::thread::sleep(Duration::from_nanos(behind / 2));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
                     let req_start = Instant::now();
                     spin_acc ^= spin(compute_per_request, seed ^ w as u64);
-                    // Parse + build the request/response object graph.
+                    if class == CLASS_CHURN && !pool.is_empty() {
+                        // Session teardown: the connection's retained
+                        // state is released wholesale, exercising the
+                        // free/invalidate path in bursts.
+                        for base in pool.drain(..) {
+                            th.free(base).expect("churn free");
+                        }
+                        churned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Parse + build the request/response object graph;
+                    // static serving touches a third of the dynamic
+                    // graph and retains nothing.
+                    let (allocs, stores, retain) = match class {
+                        CLASS_STATIC => (
+                            (profile.allocs_per_request / 3).max(1),
+                            profile.stores_per_request / 3,
+                            false,
+                        ),
+                        _ => (profile.allocs_per_request, profile.stores_per_request, true),
+                    };
                     let mut request_objs: Vec<(Addr, u64)> = Vec::new();
-                    for _ in 0..profile.allocs_per_request {
+                    for _ in 0..allocs {
                         let size = rng.gen_range(64..512);
                         let a = th.malloc(size).expect("req alloc");
                         request_objs.push((a.base, size));
                     }
-                    for i in 0..profile.stores_per_request {
+                    for i in 0..stores {
                         if request_objs.is_empty() {
                             break;
                         }
@@ -123,7 +296,8 @@ where
                     // in the connection pool (Apache's behaviour).
                     for (base, size) in request_objs {
                         // Pools retain the small header-like allocations.
-                        if size < 128
+                        if retain
+                            && size < 128
                             && rng.gen_bool((profile.retained_frac * 4.0).min(1.0))
                             && pool.len() < 100_000
                         {
@@ -132,43 +306,83 @@ where
                             th.free(base).expect("req free");
                         }
                     }
-                    lats.push(req_start.elapsed().as_nanos() as u64);
+                    let lat = match sched_ns {
+                        // Completion relative to the scheduled arrival.
+                        Some(sched) => (start.elapsed().as_nanos() as u64).saturating_sub(sched),
+                        None => req_start.elapsed().as_nanos() as u64,
+                    };
+                    overall.record(lat);
+                    class_hists[class].record(lat);
                 }
                 std::hint::black_box(spin_acc);
                 for base in pool {
                     th.free(base).expect("pool free");
                 }
-                lats
-            }));
-        }
-        for h in handles {
-            latencies_ns.extend(h.join().expect("worker"));
+            });
         }
     });
     let elapsed = start.elapsed();
     for b in static_blocks {
         hh.free(b).expect("static free");
     }
-    latencies_ns.sort_unstable();
+    let snap = overall.snapshot();
+    let classes = CLASS_NAMES
+        .iter()
+        .zip(class_hists.iter())
+        .map(|(name, h)| {
+            let s = h.snapshot();
+            ClassLatency {
+                class: name,
+                count: s.count(),
+                p50_ns: s.p50(),
+                p99_ns: s.p99(),
+                p999_ns: s.p999(),
+                max_ns: s.max(),
+            }
+        })
+        .collect();
+    debug_assert_eq!(
+        snap.count(),
+        class_hists
+            .iter()
+            .map(|h| h.snapshot().count())
+            .sum::<u64>(),
+        "every request lands in exactly one class histogram"
+    );
     ServerResult {
         name: profile.name.to_string(),
         detector: hh.detector().name().to_string(),
         requests,
         rps: requests as f64 / elapsed.as_secs_f64(),
-        p50_ns: percentile(&latencies_ns, 50),
-        p99_ns: percentile(&latencies_ns, 99),
+        offered_rps: opts.offered_rps,
+        p50_ns: snap.p50(),
+        p99_ns: snap.p99(),
+        p999_ns: snap.p999(),
+        max_ns: snap.max(),
+        classes,
+        sessions_churned: churned.load(Ordering::Relaxed),
         heap_resident: hh.heap().resident_bytes(),
         metadata_bytes: hh.detector().metadata_bytes(),
+        latency_hists: std::iter::once(("server_latency_ns".to_string(), overall))
+            .chain(
+                CLASS_NAMES
+                    .iter()
+                    .zip(class_hists)
+                    .map(|(name, h)| (format!("server_latency_{name}_ns"), h)),
+            )
+            .collect(),
     }
 }
 
-/// Nearest-rank percentile over an already-sorted sample; 0 for an
-/// empty one.
-fn percentile(sorted_ns: &[u64], pct: u64) -> u64 {
-    match sorted_ns.len() {
-        0 => 0,
-        n => sorted_ns[((n as u64 - 1) * pct / 100) as usize],
+/// Merges the per-class histograms of a result-producing run into one
+/// snapshot — a convenience for harnesses that keep class histograms and
+/// want overall percentiles without a second recording pass.
+pub fn merged_snapshot(hists: &[Arc<Histogram>]) -> HistogramSnapshot {
+    let mut merged = HistogramSnapshot::default();
+    for h in hists {
+        merged.merge(&h.snapshot());
     }
+    merged
 }
 
 #[cfg(test)]
@@ -187,17 +401,88 @@ mod tests {
             assert!(r.rps > 0.0);
             assert!(r.p50_ns > 0, "median latency must be measured");
             assert!(r.p99_ns >= r.p50_ns, "percentiles out of order");
+            assert!(r.p999_ns >= r.p99_ns, "percentiles out of order");
+            assert!(r.max_ns >= r.p999_ns, "max below p999");
+            let class_total: u64 = r.classes.iter().map(|c| c.count).sum();
+            assert_eq!(class_total, 500, "every request lands in one class");
         }
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[], 99), 0);
-        assert_eq!(percentile(&[7], 50), 7);
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50), 50);
-        assert_eq!(percentile(&v, 99), 99);
-        assert_eq!(percentile(&v, 100), 100);
+    fn class_mix_is_deterministic_and_shaped() {
+        let counts = |seed| {
+            let mut c = [0u64; 3];
+            for i in 0..10_000 {
+                c[class_of(i, seed)] += 1;
+            }
+            c
+        };
+        let a = counts(7);
+        assert_eq!(a, counts(7), "same seed, same schedule");
+        assert!(a[CLASS_STATIC] > a[CLASS_DYNAMIC], "static dominates");
+        assert!(a[CLASS_DYNAMIC] > a[CLASS_CHURN], "churn is rare");
+        assert!(a[CLASS_CHURN] > 0, "churn occurs");
+        assert_ne!(a, counts(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn churn_requests_tear_down_session_pools() {
+        // Apache retains aggressively, so across 2000 requests some
+        // churn request must find a non-empty pool to tear down.
+        let hh = shared_env(DetectorKind::DangSan(Config::default()));
+        let r = run_server(&SERVERS[0], 2000, 0, &hh, 5);
+        assert!(r.sessions_churned > 0, "no session was ever churned");
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_delay() {
+        // Offered load far beyond capacity: scheduled arrivals run ahead
+        // of completions, so scheduled-relative latency must dwarf the
+        // closed-loop service time of the same workload.
+        let p = &SERVERS[1];
+        let hh = shared_env(DetectorKind::DangSan(Config::default()));
+        let closed = run_server(p, 400, 0, &hh, 9);
+        let hh = shared_env(DetectorKind::DangSan(Config::default()));
+        let open = run_server_opts(
+            p,
+            400,
+            0,
+            &hh,
+            9,
+            &ServerOptions {
+                offered_rps: Some(1e9),
+                hub: None,
+            },
+        );
+        assert_eq!(open.offered_rps, Some(1e9));
+        assert!(
+            open.p99_ns > closed.p50_ns,
+            "saturating open-loop p99 {} must exceed closed-loop p50 {}",
+            open.p99_ns,
+            closed.p50_ns
+        );
+    }
+
+    #[test]
+    fn open_loop_paces_below_capacity() {
+        // 200 requests at 10k rps should take ~20ms of wall time even
+        // though the work itself is far cheaper.
+        let p = &SERVERS[2];
+        let hh = shared_env(DetectorKind::DangSan(Config::default()));
+        let start = Instant::now();
+        let r = run_server_opts(
+            p,
+            200,
+            0,
+            &hh,
+            11,
+            &ServerOptions {
+                offered_rps: Some(10_000.0),
+                hub: None,
+            },
+        );
+        assert!(start.elapsed() >= Duration::from_millis(15), "unpaced");
+        assert!(r.rps <= 15_000.0, "throughput capped by offered load");
     }
 
     #[test]
@@ -230,5 +515,42 @@ mod tests {
         let rd = run_server(p, 300, 0, &hd, 3);
         assert_eq!(rb.requests, rd.requests);
         assert!(rd.metadata_bytes > rb.metadata_bytes);
+    }
+
+    #[test]
+    fn hub_registration_feeds_the_time_series() {
+        // shared_env type-erases the detector, so use a standalone hub;
+        // the workload registers its histograms on whatever hub it is
+        // handed, detector-attached or not.
+        let hh = shared_env(DetectorKind::DangSan(Config::default()));
+        let hub = dangsan::telemetry::MetricsHub::new();
+        let r = run_server_opts(
+            &SERVERS[1],
+            300,
+            0,
+            &hh,
+            4,
+            &ServerOptions {
+                offered_rps: None,
+                hub: Some(Arc::clone(&hub)),
+            },
+        );
+        assert_eq!(r.requests, 300);
+        let samples = hub.collect();
+        let find = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(find("server_latency_ns_count"), 300);
+        assert_eq!(find("server_latency_ns_p99"), r.p99_ns);
+        assert_eq!(find("server_latency_ns_max"), r.max_ns);
+        let class_total: u64 = CLASS_NAMES
+            .iter()
+            .map(|n| find(&format!("server_latency_{n}_ns_count")))
+            .sum();
+        assert_eq!(class_total, 300);
     }
 }

@@ -5,8 +5,8 @@
 # Usage: scripts/check_baselines.sh
 #
 # Fails if:
-#   - BENCH_hotpath.json is missing, unparsable, missing any of the ten
-#     gated benches, or locks in a sub-1.0x speedup on a core bench
+#   - BENCH_hotpath.json is missing, unparsable, missing any of the
+#     eleven gated benches, or locks in a sub-1.0x speedup on a core bench
 #     (registerptr, ptr2obj, malloc_free, invalidate), a deferred-free
 #     bench (free_many_objs, free_while_reg — the deferred sweep must
 #     keep mutator-visible free cheaper than the inline walk), or the
@@ -26,14 +26,24 @@
 #       cores == 1  ->  4t/1t >= 0.7   (oversubscription must stay cheap)
 #     Override with VERIFY_SCALING_MIN=<float>. The thread-cached
 #     allocator must also hold >= 0.95x the locked path at 1 thread
-#     (override with VERIFY_SCALING_LOCKED_MIN).
+#     (override with VERIFY_SCALING_LOCKED_MIN),
+#   - BENCH_server.json is missing, unparsable, carries the wrong schema,
+#     or misses the cores-keyed dangsan/baseline capacity-ratio floor
+#     (instrumentation costs throughput, but only so much):
+#       cores >= 4  ->  ratio >= 0.12
+#       cores 2..3  ->  ratio >= 0.10
+#       cores == 1  ->  ratio >= 0.08
+#     Override with VERIFY_SERVER_MIN=<float>. The open-loop latency
+#     percentiles (p50/p99/p999) and session-churn count must be present
+#     and parsable; their magnitudes are machine-shaped, so verify.sh
+#     holds the regression line on them, not this lint.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 HOTPATH_BENCHES="registerptr ptr2obj malloc_free invalidate \
                  free_many_ptrs free_many_objs free_while_reg \
-                 sweep_total malloc_free_thin trace_off"
+                 sweep_total malloc_free_thin trace_off metrics_off"
 CORE_BENCHES="registerptr ptr2obj malloc_free invalidate"
 # Deferred-free benches: committed with deferred_sweep on, the speedup
 # column is deferred-over-inline on identical free traffic, so anything
@@ -146,6 +156,35 @@ if [[ -f "$scaling" ]]; then
     for key in sweep_steals sweep_shard_peak_0 p50_ns p99_ns; do
         v=$(num_of "$scaling" "$key" dangsan)
         check_num "$scaling" "dangsan.t1.$key" "$v" 0 || status=1
+    done
+fi
+
+# --- BENCH_server.json ----------------------------------------------------
+server=BENCH_server.json
+require_file "$server" "cargo run --release -p dangsan-bench --bin server" || status=1
+if [[ -f "$server" ]]; then
+    check_schema "$server" "dangsan-server-v1" || status=1
+    cores=$(num_of "$server" cores)
+    check_num "$server" "cores" "$cores" 1 || status=1
+    if [[ -n "${VERIFY_SERVER_MIN-}" ]]; then
+        floor_rps=$VERIFY_SERVER_MIN
+    else
+        floor_rps=$(awk -v c="${cores:-0}" 'BEGIN {
+            if (c >= 4) print 0.12; else if (c >= 2) print 0.10; else print 0.08
+        }')
+    fi
+    v=$(num_of "$server" dangsan_over_baseline_rps)
+    check_num "$server" "dangsan_over_baseline_rps" "$v" "$floor_rps" || status=1
+    # Schema lint: the open-loop latency figures and the per-class
+    # breakdown keys must be present and parsable (floor: percentiles
+    # must be measured, counts merely present).
+    for key in dangsan_p50_ns dangsan_p99_ns dangsan_p999_ns; do
+        v=$(num_of "$server" "$key")
+        check_num "$server" "$key" "$v" 1 || status=1
+    done
+    for key in offered_rps sessions_churned; do
+        v=$(num_of "$server" "$key" dangsan)
+        check_num "$server" "dangsan.open_loop.$key" "$v" 0 || status=1
     done
 fi
 

@@ -10,6 +10,7 @@ pub use dangsan_baselines as baselines;
 pub use dangsan_heap as heap;
 pub use dangsan_instr as instr;
 pub use dangsan_shadow as shadow;
+pub use dangsan_telemetry as telemetry;
 pub use dangsan_trace as trace;
 pub use dangsan_vmem as vmem;
 pub use dangsan_workloads as workloads;
