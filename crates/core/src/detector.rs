@@ -237,8 +237,9 @@ pub struct DangSan {
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// The heap this detector is hooked in front of (set by
     /// [`Detector::bind_heap`]); a retiring sweep requeues its
-    /// quarantined block here.
-    heap: Mutex<Weak<Heap>>,
+    /// quarantined block here. Shared (`Arc`) with the heap-gauge
+    /// metrics source, so re-binding retargets the gauges too.
+    heap: Arc<Mutex<Weak<Heap>>>,
     /// The telemetry hub; `Some` exactly when `Config::metrics` is on.
     /// Pull-based: sources registered here read the counters the
     /// detector already keeps, so the malloc/store/free paths carry no
@@ -291,7 +292,7 @@ impl DangSan {
                 .site_policy
                 .then(|| Arc::new(SitePolicy::new(cfg.thin_min_frees))),
             workers: Mutex::new(Vec::new()),
-            heap: Mutex::new(Weak::new()),
+            heap: Arc::new(Mutex::new(Weak::new())),
             metrics: cfg.metrics.then(MetricsHub::new),
             sampler: Mutex::new(None),
             heap_gauges_bound: AtomicBool::new(false),
@@ -1540,13 +1541,18 @@ impl Detector for DangSan {
             return;
         };
         // Register the allocator gauges once; re-binding (or binding a
-        // replacement heap) must not duplicate the source.
+        // replacement heap) must not duplicate the source. The source
+        // reads the shared `heap` slot rather than capturing this
+        // heap's Weak, so a later re-bind retargets the gauges to the
+        // replacement heap instead of going dark when the original
+        // heap drops.
         if self.heap_gauges_bound.swap(true, Ordering::AcqRel) {
             return;
         }
-        let weak = Arc::downgrade(heap);
+        let slot = Arc::clone(&self.heap);
         hub.register_source(move |c| {
-            if let Some(heap) = weak.upgrade() {
+            let heap = slot.lock().expect("not poisoned").upgrade();
+            if let Some(heap) = heap {
                 c.gauge("heap_resident_bytes", heap.resident_bytes());
                 c.gauge("heap_magazine_blocks", heap.magazine_blocks());
                 for (i, blocks) in heap.central_shard_blocks().iter().enumerate() {

@@ -157,6 +157,41 @@ fn metrics_on_is_behaviourally_inert_across_the_matrix() {
 }
 
 #[test]
+fn heap_gauges_track_a_rebound_heap() {
+    // The heap-gauge source reads the detector's live heap slot: after
+    // a re-bind, the gauges must follow the replacement heap (not go
+    // dark when the original drops), and the source must not be
+    // registered twice.
+    let mem = Arc::new(AddressSpace::new());
+    let det = DangSan::new(Arc::clone(&mem), Config::default().with_metrics(true));
+    let hub = Arc::clone(det.metrics().expect("hub"));
+    let resident = |hub: &dangsan::telemetry::MetricsHub| {
+        hub.collect()
+            .into_iter()
+            .filter(|s| s.name == "heap_resident_bytes")
+            .map(|s| s.value)
+            .collect::<Vec<u64>>()
+    };
+    let first = Heap::new(Arc::clone(&mem));
+    det.bind_heap(&first);
+    assert_eq!(resident(&hub).len(), 1);
+    let second = Heap::new(Arc::clone(&mem));
+    det.bind_heap(&second);
+    drop(first);
+    let after_rebind = resident(&hub);
+    assert_eq!(
+        after_rebind.len(),
+        1,
+        "re-bind duplicated or orphaned the source"
+    );
+    second.malloc(4096).expect("alloc");
+    assert!(
+        resident(&hub)[0] > after_rebind[0],
+        "gauges must track the rebound heap"
+    );
+}
+
+#[test]
 fn sampler_series_accumulates_and_survives_detector_drop() {
     let cfg = Config::default()
         .with_metrics(true)

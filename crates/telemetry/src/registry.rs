@@ -14,6 +14,7 @@
 //! strings: harnesses decide what hits the filesystem.
 
 use core::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -80,7 +81,7 @@ const SERIES_CAP: usize = 100_000;
 pub struct MetricsHub {
     sources: Mutex<Vec<Source>>,
     hists: Mutex<Vec<(String, Weak<Histogram>)>>,
-    series: Mutex<Vec<String>>,
+    series: Mutex<VecDeque<String>>,
     dropped_lines: AtomicBool,
 }
 
@@ -166,24 +167,24 @@ impl MetricsHub {
     /// [`SERIES_CAP`] ceiling dropped lines, the first line returned is
     /// a marker object (`{"dropped":true}`).
     pub fn series(&self) -> Vec<String> {
-        let lines = self.series.lock().expect("not poisoned").clone();
+        let lines = self.series.lock().expect("not poisoned");
         if self.dropped_lines.load(Ordering::Relaxed) {
             let mut out = Vec::with_capacity(lines.len() + 1);
             out.push("{\"dropped\":true}".to_string());
-            out.extend(lines);
+            out.extend(lines.iter().cloned());
             out
         } else {
-            lines
+            lines.iter().cloned().collect()
         }
     }
 
     fn push_line(&self, line: String) {
         let mut series = self.series.lock().expect("not poisoned");
         if series.len() >= SERIES_CAP {
-            series.remove(0);
+            series.pop_front();
             self.dropped_lines.store(true, Ordering::Relaxed);
         }
-        series.push(line);
+        series.push_back(line);
     }
 
     /// Spawns the sampler thread: one [`MetricsHub::jsonl_line`] per
@@ -219,11 +220,20 @@ pub struct Sampler {
 
 impl Sampler {
     /// Stops and joins the sampler (idempotent; also runs on drop).
+    ///
+    /// A source's transient `Weak` upgrade can make the sampler thread
+    /// itself the one dropping the hub's owner — and therefore this
+    /// `Sampler` (the detector's drop glue is the concrete case).
+    /// Joining would then be a self-join deadlock, so the sampler
+    /// thread detaches instead: the stop flag is already set, and the
+    /// thread exits as soon as the in-flight collection returns.
     pub fn stop(&mut self) {
         if let Some(handle) = self.handle.take() {
             self.stop.store(true, Ordering::Relaxed);
             handle.thread().unpark();
-            let _ = handle.join();
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -298,6 +308,57 @@ mod tests {
         assert!(line.contains("\"depth\":3"));
         assert!(line.contains("\"total\":9"));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn sampler_stop_on_its_own_thread_detaches_instead_of_self_joining() {
+        // Mirrors the detector: an owner holds the Sampler, and a
+        // source's transient Weak upgrade can make the sampler thread
+        // the one running the owner's drop. Deterministically force
+        // that interleaving: park the source while it holds a strong
+        // ref, drop the external ref, then release the source — the
+        // owner (and its Sampler) now drops on the sampler thread.
+        // Before the self-id check in Sampler::stop this self-joined
+        // and hung forever.
+        struct Owner {
+            _sampler: Mutex<Option<Sampler>>,
+        }
+        let hub = MetricsHub::new();
+        let owner = Arc::new(Owner {
+            _sampler: Mutex::new(None),
+        });
+        let in_source = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let weak = Arc::downgrade(&owner);
+        let (entered, gate) = (Arc::clone(&in_source), Arc::clone(&release));
+        hub.register_source(move |c| {
+            if let Some(owner) = weak.upgrade() {
+                entered.store(true, Ordering::SeqCst);
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                drop(owner);
+            }
+            c.gauge("alive", 1);
+        });
+        *owner._sampler.lock().expect("not poisoned") =
+            Some(hub.start_sampler(Duration::from_millis(1)));
+        while !in_source.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        drop(owner); // the sampler thread's upgrade is now the last ref
+        release.store(true, Ordering::SeqCst);
+        // The detached sampler takes its final line and exits; wait for
+        // the series to settle rather than sleeping a fixed amount.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let series = hub.series();
+            if series.last().is_some_and(|l| l.contains("\"alive\":1")) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "sampler never emitted");
+            std::thread::yield_now();
+        }
     }
 
     #[test]
