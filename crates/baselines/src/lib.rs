@@ -25,12 +25,20 @@
 //! Cling / ASan quarantines) together with the heap-massaging bypass that
 //! disqualifies it against deliberate attacks.
 
+//! [`ShadowOracle`] is not a comparison arm from the paper at all: it is
+//! the differential fuzzer's ground truth — a deliberately simple exact
+//! tracker of *every* pointer store, with an eager mode matching the
+//! synchronous sweep's timing and a lazy mode matching the deferred
+//! sweep's quarantine placement (DESIGN.md "Differential fuzzing").
+
 mod dangnull;
 mod freesentry;
 mod locked;
+mod oracle;
 mod quarantine;
 
 pub use dangnull::DangNull;
 pub use freesentry::FreeSentry;
 pub use locked::DangSanLocked;
-pub use quarantine::QuarantineHeap;
+pub use oracle::{OracleMode, ShadowOracle};
+pub use quarantine::{QuarantineDetector, QuarantineHeap};

@@ -315,6 +315,86 @@ mod tests {
     }
 
     #[test]
+    fn realloc_to_zero_shrinks_in_place_and_free_still_invalidates() {
+        // realloc(p, 0) stays in place (0 <= usable always); the object
+        // survives with an inclusive end of `base + 0`, so a registered
+        // base pointer is still invalidated by the eventual free while a
+        // registered interior pointer is now out of range and resolves
+        // as stale — the documented shrink semantics every arm shares.
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(32).unwrap();
+        let at_base = hh.malloc(8).unwrap();
+        let interior = hh.malloc(8).unwrap();
+        hh.store_ptr(at_base.base, obj.base).unwrap();
+        hh.store_ptr(interior.base, obj.base + 8).unwrap();
+        let (new, report) = hh.realloc(obj.base, 0).unwrap();
+        assert_eq!(new.base, obj.base, "size-0 realloc must not move");
+        assert_eq!(report, InvalidationReport::default());
+        assert_eq!(hh.load(at_base.base).unwrap(), obj.base, "still raw");
+        let report = hh.free(obj.base).unwrap();
+        assert_eq!((report.invalidated, report.stale), (1, 1));
+        assert_eq!(hh.load(at_base.base).unwrap(), obj.base | INVALID_BIT);
+        assert_eq!(
+            hh.load(interior.base).unwrap(),
+            obj.base + 8,
+            "interior pointer beyond the shrunk end is stale, not masked"
+        );
+    }
+
+    #[test]
+    fn realloc_of_a_thin_routed_object_keeps_detection_exact() {
+        // A Thin-routed object that takes a registered pointer promotes
+        // on the spot; a subsequent realloc that moves the block must
+        // still invalidate the old pointer through the move's free.
+        let hh = setup_with(
+            Config::default()
+                .with_site_policy(true)
+                .with_thin_min_frees(1),
+        );
+        dangsan_trace::set_alloc_site(0x77);
+        let warm = hh.malloc(24).unwrap();
+        hh.free(warm.base).unwrap(); // clean free: the site earns Thin
+        let obj = hh.malloc(24).unwrap();
+        assert!(
+            hh.detector().stats().routed_thin >= 1,
+            "warm clean site never routed Thin"
+        );
+        let holder = hh.malloc(8).unwrap();
+        hh.store_ptr(holder.base, obj.base).unwrap();
+        let (new, report) = hh.realloc(obj.base, 5000).unwrap();
+        assert_ne!(new.base, obj.base, "5000 bytes cannot grow in place");
+        assert_eq!(report.invalidated, 1, "promotion lost the dangling ptr");
+        assert_eq!(hh.load(holder.base).unwrap(), obj.base | INVALID_BIT);
+        assert!(hh.detector().stats().thin_promotions >= 1);
+        hh.free(new.base).unwrap();
+        dangsan_trace::set_alloc_site(0);
+    }
+
+    #[test]
+    fn grown_in_place_realloc_keeps_warm_caches_coherent() {
+        // malloc(40) carves from the 48-byte class, so growing to
+        // `usable` (47) stays in place and widens the object's inclusive
+        // end. The first store warms the per-thread epoch caches for
+        // this object; the post-realloc store into the *grown tail* (a
+        // value in range only after the realloc) rides those warm caches
+        // and must still land in the log — the free masks both.
+        let (_, hh) = setup_dangsan();
+        let obj = hh.malloc(40).unwrap();
+        assert!(obj.usable > 40, "class stride leaves room to grow");
+        let h1 = hh.malloc(8).unwrap();
+        let h2 = hh.malloc(8).unwrap();
+        hh.store_ptr(h1.base, obj.base).unwrap();
+        let (new, _) = hh.realloc(obj.base, obj.usable).unwrap();
+        assert_eq!(new.base, obj.base, "grows within the stride");
+        let tail = obj.base + obj.usable; // in range only post-realloc
+        hh.store_ptr(h2.base, tail).unwrap();
+        let report = hh.free(obj.base).unwrap();
+        assert_eq!(report.invalidated, 2, "grown-tail pointer was dropped");
+        assert_eq!(hh.load(h1.base).unwrap(), obj.base | INVALID_BIT);
+        assert_eq!(hh.load(h2.base).unwrap(), tail | INVALID_BIT);
+    }
+
+    #[test]
     fn thread_handles_work_end_to_end() {
         let (_, hh) = setup_dangsan();
         let mut handles = Vec::new();

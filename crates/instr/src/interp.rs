@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use dangsan::{Detector, HookedHeap};
 use dangsan_heap::AllocError;
-use dangsan_vmem::{Addr, BumpSegment, FaultKind, MemFault};
+use dangsan_vmem::{is_canonical_user, Addr, BumpSegment, FaultKind, MemFault, INVALID_BIT};
 
 use crate::ir::{BinOp, Block, FuncId, Inst, Operand, Program, Term};
 
@@ -34,7 +34,17 @@ pub enum Trap {
 
 impl From<MemFault> for Trap {
     fn from(f: MemFault) -> Trap {
-        if f.kind == FaultKind::NonCanonical {
+        // A detection is specifically a *bit-63-masked* address whose
+        // unmasked bits name a canonical user address — the shape the
+        // invalidation sweep produces. Any other non-canonical access
+        // (a wild pointer fabricated by integer arithmetic, a huge
+        // garbage value) is a plain fault, not a use-after-free: the
+        // differential fuzzer counts true/false positives off this
+        // distinction, so it must not flatter the detector.
+        if f.kind == FaultKind::NonCanonical
+            && f.addr & INVALID_BIT != 0
+            && is_canonical_user(f.addr & !INVALID_BIT)
+        {
             Trap::UseAfterFree(f.addr)
         } else {
             Trap::Fault(f)
@@ -371,6 +381,46 @@ mod tests {
         let (r, rep) = run_instrumented(&uaf_program(), PassOptions::optimized(), dangsan_hh());
         assert!(matches!(r, Err(Trap::UseAfterFree(_))), "{r:?}");
         assert_eq!(rep.pointer_stores, 1);
+    }
+
+    #[test]
+    fn wild_pointer_is_a_fault_not_a_detection() {
+        // A non-canonical address fabricated by integer arithmetic (bit 63
+        // clear, but far above the user range) must NOT be reported as a
+        // use-after-free: nothing was ever freed.
+        let mut fb = FunctionBuilder::new("main", 0);
+        let obj = fb.malloc(Operand::Imm(32));
+        // Pointer arithmetic that leaves the canonical range with bit 63
+        // still clear: not the invalidation sweep's shape.
+        let wild = fb.gep(obj, Operand::Imm(0x7000_0000_0000_0000));
+        let _ = fb.load_i64(wild, 0);
+        fb.ret(None);
+        let prog = Program {
+            funcs: vec![fb.finish()],
+        };
+        let (r, _) = run_instrumented(&prog, PassOptions::naive(), dangsan_hh());
+        match r {
+            Err(Trap::Fault(f)) => assert_eq!(f.kind, FaultKind::NonCanonical),
+            other => panic!("expected a wild-pointer fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn masked_high_garbage_is_a_fault_not_a_detection() {
+        // Bit 63 set but the unmasked bits are not canonical either: not
+        // the invalidation sweep's shape, so still a plain fault.
+        let f = MemFault {
+            kind: FaultKind::NonCanonical,
+            addr: INVALID_BIT | (1 << 55),
+        };
+        assert!(matches!(Trap::from(f), Trap::Fault(_)));
+        // The sweep's shape — bit 63 over a canonical address — is the
+        // detection.
+        let f = MemFault {
+            kind: FaultKind::NonCanonical,
+            addr: INVALID_BIT | 0x1234_5678,
+        };
+        assert!(matches!(Trap::from(f), Trap::UseAfterFree(_)));
     }
 
     #[test]

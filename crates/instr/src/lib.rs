@@ -20,6 +20,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod fuzz;
 pub mod instrument;
 pub mod interp;
 pub mod ir;

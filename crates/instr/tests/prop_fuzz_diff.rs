@@ -1,0 +1,34 @@
+//! Bounded differential-fuzzing campaign in tier-1.
+//!
+//! A fixed-seed slice of the `fuzz_diff` campaign (see
+//! `dangsan_instr::fuzz` and DESIGN.md "Differential fuzzing") runs on
+//! every `cargo test`: each generated program goes through the full arm
+//! matrix and must produce zero divergences. The bounded count keeps the
+//! offline pass fast; CI runs the standalone `fuzz_diff` driver with a
+//! run-varying seed on top, and `--features heavy-tests` widens this
+//! slice.
+
+use dangsan_instr::fuzz::check_seed;
+
+#[cfg(not(feature = "heavy-tests"))]
+const PROGRAMS: u64 = 48;
+#[cfg(feature = "heavy-tests")]
+const PROGRAMS: u64 = 1000;
+
+/// Distinct from the driver's default base seed (0xDA95) so tier-1 and a
+/// default CI run cover disjoint slices of the seed space.
+const BASE_SEED: u64 = 0x5EED_F277;
+
+#[test]
+fn bounded_campaign_has_zero_divergences() {
+    for i in 0..PROGRAMS {
+        let seed = BASE_SEED + i;
+        let (scn, divs) = check_seed(seed);
+        assert!(
+            divs.is_empty(),
+            "seed {seed} ({} stmts, threaded={}): {divs:#?}",
+            scn.stmt_count(),
+            scn.threaded
+        );
+    }
+}

@@ -19,6 +19,8 @@
 #
 # Fails if:
 #   - the tier-1 suite (build, clippy -D warnings, tests) fails,
+#   - the bounded differential-fuzz campaign finds any divergence
+#     (VERIFY_FUZZ_PROGRAMS overrides the 150-program default; 0 skips),
 #   - scripts/check_baselines.sh rejects a committed BENCH_*.json
 #     (missing, unparsable, missing a gated figure, sub-1.0 core-bench
 #     speedup, or scaling floors missed),
@@ -54,6 +56,18 @@ cargo clippy -q --all-targets -- -D warnings
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+# The fixed-seed corpus replay and a bounded fixed-seed campaign already
+# ran inside cargo test (tests/fuzz_corpus.rs, instr prop_fuzz_diff); this
+# runs the standalone driver on a further slice so verify covers more of
+# the seed space than the offline suite alone. Override the count with
+# VERIFY_FUZZ_PROGRAMS (0 skips).
+fuzz_programs=${VERIFY_FUZZ_PROGRAMS:-150}
+if [[ "$fuzz_programs" != "0" ]]; then
+    echo "== differential fuzz: fuzz_diff --programs $fuzz_programs =="
+    cargo run --release -q -p dangsan-bench --bin fuzz_diff -- \
+        --programs "$fuzz_programs" --seed 424242 --quiet
+fi
 
 echo "== baseline lint: scripts/check_baselines.sh =="
 scripts/check_baselines.sh
