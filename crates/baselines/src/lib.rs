@@ -30,15 +30,23 @@
 //! tracker of *every* pointer store, with an eager mode matching the
 //! synchronous sweep's timing and a lazy mode matching the deferred
 //! sweep's quarantine placement (DESIGN.md "Differential fuzzing").
+//!
+//! [`TagDetector`] covers the *dereference-time* defense family the §9
+//! related work surveys: xTag-style generation tags, DangKiller-style
+//! implicit identifiers, and PACSan/CryptSan-style truncated pointer
+//! MACs, all folded into the spare high pointer bits and checked on
+//! every access instead of rewritten at free (DESIGN.md §5j).
 
 mod dangnull;
 mod freesentry;
 mod locked;
 mod oracle;
 mod quarantine;
+mod tagging;
 
 pub use dangnull::DangNull;
 pub use freesentry::FreeSentry;
 pub use locked::DangSanLocked;
 pub use oracle::{OracleMode, ShadowOracle};
 pub use quarantine::{QuarantineDetector, QuarantineHeap};
+pub use tagging::{TagDetector, TagScheme, DEFAULT_TAG_BITS, DEFAULT_TAG_KEY};

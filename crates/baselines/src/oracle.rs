@@ -64,6 +64,10 @@ pub enum OracleMode {
 /// pointer into it while it lived (append-only; see the module docs).
 struct ObjRec {
     end: Addr,
+    /// Largest `end` the object ever had (a shrinking realloc lowers
+    /// `end` but not this) — the extent [`ShadowOracle::ever_dangling`]
+    /// answers against.
+    max_end: Addr,
     incoming: BTreeSet<Addr>,
 }
 
@@ -74,9 +78,10 @@ struct State {
     /// Lazy mode: freed objects whose invalidation walk is still owed,
     /// in free order.
     pending: Vec<(Addr, ObjRec)>,
-    /// Every `(base, end)` ever freed, for post-hoc triage of traps in
-    /// timing-nondeterministic arms.
-    dead: Vec<(Addr, Addr)>,
+    /// Every `(base, end_at_free, max_end)` ever freed, for post-hoc
+    /// triage of traps in timing-nondeterministic arms and for the
+    /// tagging arms' extra-detection relation.
+    dead: Vec<(Addr, Addr, Addr)>,
 }
 
 /// The exact-tracking oracle detector. See the module docs.
@@ -102,9 +107,29 @@ impl ShadowOracle {
         })
     }
 
-    /// Every `(base, inclusive_end)` range freed so far, in free order.
+    /// Every `(base, inclusive_end)` range freed so far, in free order,
+    /// with the end measured at free time.
     pub fn dead_ranges(&self) -> Vec<(Addr, Addr)> {
-        self.state.lock().expect("not poisoned").dead.clone()
+        let st = self.state.lock().expect("not poisoned");
+        st.dead.iter().map(|&(b, e, _)| (b, e)).collect()
+    }
+
+    /// Whether `addr` was ever inside an object that has since been
+    /// freed, measured by the object's *largest lifetime extent*
+    /// (inclusive, same +1 guard-byte rule as the invalidation walk).
+    ///
+    /// This is the ground-truth fact the tagging arms' comparison
+    /// relation needs: invalidation can only rewrite copies that exist —
+    /// and still point into the object — at free time, so a value
+    /// orphaned by a shrinking realloc, or copied from a stale register
+    /// *after* the free, stays raw forever under oracle semantics while
+    /// a dereference-time tag check still traps it. Such a trap is the
+    /// tag family's legitimate extra detection exactly when the address
+    /// it fingers really was part of a freed object; this predicate
+    /// certifies that, address by address.
+    pub fn ever_dangling(&self, addr: Addr) -> bool {
+        let st = self.state.lock().expect("not poisoned");
+        st.dead.iter().any(|&(b, _, m)| addr >= b && addr <= m)
     }
 
     /// The invalidation walk for one freed object: re-read every
@@ -149,6 +174,7 @@ impl Detector for ShadowOracle {
             alloc.base,
             ObjRec {
                 end: alloc.base + alloc.requested,
+                max_end: alloc.base + alloc.requested,
                 incoming: BTreeSet::new(),
             },
         );
@@ -168,7 +194,7 @@ impl Detector for ShadowOracle {
             }
             return InvalidationReport::default();
         };
-        st.dead.push((base, rec.end));
+        st.dead.push((base, rec.end, rec.max_end));
         Stats::bump(&self.stats.objects_freed);
         match self.mode {
             OracleMode::Eager => {
@@ -187,6 +213,7 @@ impl Detector for ShadowOracle {
         let mut st = self.state.lock().expect("not poisoned");
         if let Some(rec) = st.objects.get_mut(&base) {
             rec.end = base + new_size;
+            rec.max_end = rec.max_end.max(rec.end);
         }
     }
 
@@ -353,6 +380,27 @@ mod tests {
         hh.detector().drain();
         assert_eq!(mem.read_word(early.base).unwrap(), obj.base | INVALID_BIT);
         assert_eq!(mem.read_word(late.base).unwrap(), obj.base, "dropped");
+    }
+
+    #[test]
+    fn ever_dangling_uses_the_largest_lifetime_extent() {
+        let (_, hh) = setup(OracleMode::Eager);
+        let obj = hh.malloc(96).unwrap();
+        let base = obj.base;
+        assert!(!hh.detector().ever_dangling(base), "still live");
+        // Shrink to nothing, then free: the invalidation walk sees a
+        // zero-length object, but interior addresses from the 96-byte
+        // era were still part of a freed object's lifetime.
+        let (shrunk, _) = hh.realloc(base, 0).unwrap();
+        assert_eq!(shrunk.base, base, "shrink stays in place");
+        hh.free(base).unwrap();
+        assert!(hh.detector().ever_dangling(base));
+        assert!(hh.detector().ever_dangling(base + 64));
+        assert!(hh.detector().ever_dangling(base + 96), "guard byte");
+        assert!(!hh.detector().ever_dangling(base + 97), "past any extent");
+        // An address never owned by a freed object stays clean.
+        let live = hh.malloc(16).unwrap();
+        assert!(!hh.detector().ever_dangling(live.base));
     }
 
     #[test]

@@ -4,15 +4,23 @@
 //!
 //! ```text
 //! fuzz_diff [--programs N] [--seed S] [--write-corpus DIR] [--quiet]
+//!           [--list-arms]
 //! ```
 //!
-//! Exits nonzero iff any program diverged. Each divergence is
-//! delta-debugged to a minimal reproducer; with `--write-corpus` the
-//! minimized `.dsir` is also written to `DIR` for permanent replay.
+//! Exits nonzero iff any program diverged. The tagging arms' classified
+//! deviations — guarantee-forgiven misses (tag wraps, key collisions)
+//! and extra detections (sweep-skipped shrink orphans) — are tallied in
+//! the summary but never fail the run; an *unclassified* disagreement is
+//! a divergence like any other. Each divergence is delta-debugged to a
+//! minimal reproducer; with `--write-corpus` the minimized `.dsir` is
+//! also written to `DIR` for permanent replay.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use dangsan_instr::fuzz::{check_seed, corpus_text, minimize, oracle_verdicts, Scenario};
+use dangsan_instr::fuzz::{
+    check_seed_full, corpus_text, minimize, oracle_verdicts, Scenario, ARM_NAMES,
+};
 use dangsan_instr::Trap;
 
 struct Args {
@@ -22,7 +30,7 @@ struct Args {
     quiet: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Option<Args> {
     let mut args = Args {
         programs: 1000,
         seed: 0xDA95,
@@ -37,24 +45,32 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().expect("--seed: number"),
             "--write-corpus" => args.write_corpus = Some(val("--write-corpus")),
             "--quiet" => args.quiet = true,
+            "--list-arms" => {
+                println!("{}", ARM_NAMES.join(" "));
+                return None;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
-    args
+    Some(args)
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let Some(args) = parse_args() else {
+        return ExitCode::SUCCESS;
+    };
     let mut threaded = 0u64;
     let mut stmts = 0u64;
     let mut with_uaf = 0u64;
     let mut with_alloc_err = 0u64;
     let mut with_wild_fault = 0u64;
+    // Classified tagging-arm deviations, keyed "arm/kind".
+    let mut classified: BTreeMap<String, u64> = BTreeMap::new();
     let mut diverged: Vec<(u64, Scenario, Vec<&'static str>)> = Vec::new();
 
     for i in 0..args.programs {
         let seed = args.seed.wrapping_add(i);
-        let (scn, divs) = check_seed(seed);
+        let (scn, report) = check_seed_full(seed);
         threaded += scn.threaded as u64;
         stmts += scn.stmt_count() as u64;
         let verdicts = oracle_verdicts(&scn.compile());
@@ -63,11 +79,21 @@ fn main() -> ExitCode {
             .any(|v| matches!(v, Err(Trap::UseAfterFree(_)))) as u64;
         with_alloc_err += verdicts.iter().any(|v| matches!(v, Err(Trap::Alloc(_)))) as u64;
         with_wild_fault += verdicts.iter().any(|v| matches!(v, Err(Trap::Fault(_)))) as u64;
-        if !divs.is_empty() {
-            let mut arms: Vec<&'static str> = divs.iter().map(|d| d.arm).collect();
+        for m in &report.expected_misses {
+            *classified
+                .entry(format!("{}/{}", m.arm, m.kind))
+                .or_default() += 1;
+        }
+        for d in &report.extra_detections {
+            *classified
+                .entry(format!("{}/extra-detection", d.arm))
+                .or_default() += 1;
+        }
+        if !report.divergences.is_empty() {
+            let mut arms: Vec<&'static str> = report.divergences.iter().map(|d| d.arm).collect();
             arms.dedup();
             eprintln!("seed {seed}: DIVERGED on {arms:?}");
-            for d in &divs {
+            for d in &report.divergences {
                 eprintln!("  [{}] {}", d.arm, d.what);
             }
             diverged.push((seed, scn, arms));
@@ -91,10 +117,20 @@ fn main() -> ExitCode {
         stmts,
         diverged.len()
     );
+    println!("  arms ({}): {}", ARM_NAMES.len(), ARM_NAMES.join(" "));
     println!(
         "  oracle ground truth: {with_uaf} programs trap a use-after-free, \
          {with_alloc_err} hit an allocator rejection, {with_wild_fault} fault wild"
     );
+    if classified.is_empty() {
+        println!("  tagging arms: no guarantee-forgiven deviations");
+    } else {
+        let total: u64 = classified.values().sum();
+        println!("  tagging arms: {total} guarantee-forgiven deviations");
+        for (key, n) in &classified {
+            println!("    {key}: {n}");
+        }
+    }
 
     for (seed, scn, arms) in &diverged {
         for arm in arms {

@@ -25,10 +25,12 @@
 //! ```
 
 use dangsan::Config;
+use dangsan_baselines::{TagScheme, DEFAULT_TAG_BITS, DEFAULT_TAG_KEY};
 use dangsan_bench::report::Json;
 use dangsan_workloads::{
     metrics_env_overrides, run_server, run_server_opts, site_policy_env_overrides,
-    sweep_env_overrides, DetectorKind, ServerOptions, ServerProfile, ServerResult,
+    sweep_env_overrides, tagging_env_overrides, DetectorKind, ServerOptions, ServerProfile,
+    ServerResult,
 };
 
 fn cores() -> usize {
@@ -161,6 +163,45 @@ fn main() {
         dang_cap / base_cap
     );
 
+    // The tagging arms join the capacity probe (same request mix, same
+    // worker count) so `BENCH_server.json` carries a per-defense row the
+    // cross-defense table and the schema lint can read. Open loop stays
+    // a two-arm comparison: the tail study is about the invalidation
+    // pipeline, the tagging arms have no deferred machinery to stress.
+    let tag_caps: Vec<(&'static str, f64)> = [
+        (
+            "xtag",
+            TagScheme::XTag {
+                bits: DEFAULT_TAG_BITS,
+            },
+        ),
+        (
+            "implicit-id",
+            TagScheme::ImplicitId {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+        ),
+        (
+            "pa-mac",
+            TagScheme::PaMac {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(|(name, scheme)| {
+        let kind = DetectorKind::Tagging(tagging_env_overrides(scheme));
+        let cap = capacity(kind, workers, requests, reps);
+        println!(
+            "capacity     {name:<12} {cap:>8.0} req/s  ({:.2}x)",
+            cap / base_cap
+        );
+        (name, cap)
+    })
+    .collect();
+
     // Phase 2: open loop at 60% of the *instrumented* arm's capacity —
     // below saturation for both arms, so the tail reflects per-request
     // work and scheduling, not an unbounded queue.
@@ -190,6 +231,12 @@ fn main() {
     dang_arm.set("capacity_rps", Json::Num(dang_cap));
     dang_arm.set("open_loop", result_json(&rd));
     arms.set("dangsan", dang_arm);
+    for (name, cap) in &tag_caps {
+        let mut arm = Json::obj();
+        arm.set("capacity_rps", Json::Num(*cap));
+        arm.set("overhead_vs_baseline", Json::Num(base_cap / cap));
+        arms.set(name, arm);
+    }
     doc.set("arms", arms);
 
     // Flat derived keys for the shell-side awk gates.

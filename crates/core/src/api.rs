@@ -13,7 +13,7 @@
 //! the type system — multithreaded runners require `D: Detector + Send +
 //! Sync`, which a `RefCell`-based detector does not satisfy.
 
-use dangsan_heap::Allocation;
+use dangsan_heap::{AllocError, Allocation};
 use dangsan_vmem::Addr;
 
 use crate::stats::StatsSnapshot;
@@ -61,6 +61,55 @@ pub trait Detector {
     /// (`registerptr`). `value` may be anything — non-pointers are cheap
     /// to filter via the pointer-to-object mapper.
     fn register_ptr(&self, loc: Addr, value: u64);
+
+    /// Rewrites a freshly allocated pointer before the program sees it.
+    ///
+    /// The pointer-tagging arms (xTag / implicit-ID / PA-MAC) fold their
+    /// tag into the spare high bits (`dangsan_vmem::TAG_MASK`) here;
+    /// every invalidation-based detector returns the address unchanged.
+    /// Called by the hooked heap after `on_alloc`, with the raw base.
+    #[inline]
+    fn encode_ptr(&self, base: Addr) -> Addr {
+        base
+    }
+
+    /// Validates a pointer at dereference time and returns the address
+    /// the access should actually use.
+    ///
+    /// Tagging arms strip their spare-bit tag and check it against the
+    /// per-block shadow state: a valid tag yields the canonical address,
+    /// a *stale* tag yields the canonical address with bit 63 set — the
+    /// exact shape the invalidation sweep writes — so the subsequent
+    /// memory access faults precisely like an invalidated pointer. An
+    /// address the arm has no shadow state for (stack, globals, integers
+    /// fabricated by arithmetic) passes through unchanged and faults, or
+    /// not, with its natural class. Default: identity (free for the
+    /// invalidation-based arms, whose detection happens at `free`).
+    #[inline]
+    fn check_deref(&self, addr: Addr) -> Addr {
+        addr
+    }
+
+    /// Validates and strips a pointer handed to `free`/`realloc`.
+    ///
+    /// Tagging arms reject a stale tag as `AllocError::InvalidPointer`
+    /// (the allocator-abort shape a masked pointer produces) and hand
+    /// the canonical address to the allocator otherwise. Default:
+    /// passthrough.
+    #[inline]
+    fn decode_free(&self, addr: Addr) -> Result<Addr, AllocError> {
+        Ok(addr)
+    }
+
+    /// Reserved for tagging arms: whether a stored word would trap if
+    /// dereferenced now (used by the differential fuzzer to compare a
+    /// tagged slab against the oracle's dead-bit pattern). Non-tagging
+    /// detectors answer `false`; their staleness lives in the pointer
+    /// bits themselves.
+    fn probe_stale(&self, value: u64) -> bool {
+        let _ = value;
+        false
+    }
 
     /// Called after a `memcpy`-style move of `len` bytes to `dst`.
     ///

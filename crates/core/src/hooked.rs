@@ -64,17 +64,21 @@ impl<D: Detector + ?Sized> HookedHeap<D> {
         self.heap.mem()
     }
 
-    /// Hooked `malloc`.
+    /// Hooked `malloc`. The returned `base` is what the *program* gets:
+    /// tagging arms fold their spare-bit tag in via
+    /// [`Detector::encode_ptr`]; for every other arm it is the raw base.
     pub fn malloc(&self, size: u64) -> Result<Allocation, AllocError> {
-        let a = self.heap.malloc(size)?;
+        let mut a = self.heap.malloc(size)?;
         self.detector.on_alloc(&a);
+        a.base = self.detector.encode_ptr(a.base);
         Ok(a)
     }
 
     /// Hooked `calloc`.
     pub fn calloc(&self, count: u64, size: u64) -> Result<Allocation, AllocError> {
-        let a = self.heap.calloc(count, size)?;
+        let mut a = self.heap.calloc(count, size)?;
         self.detector.on_alloc(&a);
+        a.base = self.detector.encode_ptr(a.base);
         Ok(a)
     }
 
@@ -86,7 +90,17 @@ impl<D: Detector + ?Sized> HookedHeap<D> {
     /// requeues it when the invalidation walk retires. Ordering matters:
     /// quarantining first guarantees no allocation can land inside the
     /// object's range during the sweep window.
+    /// A tagging arm validates and strips the pointer's tag first
+    /// ([`Detector::decode_free`]); a stale tag aborts as an invalid
+    /// pointer before the allocator is consulted, just as a masked
+    /// pointer would.
     pub fn free(&self, addr: Addr) -> Result<InvalidationReport, AllocError> {
+        let addr = self.detector.decode_free(addr)?;
+        self.free_decoded(addr)
+    }
+
+    /// The release half of [`HookedHeap::free`], after tag decoding.
+    fn free_decoded(&self, addr: Addr) -> Result<InvalidationReport, AllocError> {
         if self.detector.defers_free() {
             self.heap.quarantine(addr)?;
             return Ok(self.detector.on_free(addr));
@@ -103,6 +117,9 @@ impl<D: Detector + ?Sized> HookedHeap<D> {
         addr: Addr,
         new_size: u64,
     ) -> Result<(Allocation, InvalidationReport), AllocError> {
+        // Tagging arms validate + strip the tag up front; a stale tag is
+        // an invalid-pointer abort exactly like freeing through one.
+        let addr = self.detector.decode_free(addr)?;
         // Invalidation must precede the allocator's move+free, so probe
         // the outcome first: ask the allocator only after handling hooks.
         // The allocator decides in-place vs. move internally; we mirror
@@ -115,10 +132,13 @@ impl<D: Detector + ?Sized> HookedHeap<D> {
             return Err(AllocError::NotAnObject(addr));
         }
         if new_size <= usable {
-            // Cases 1–2: unchanged or grown in place.
+            // Cases 1–2: unchanged or grown in place. The object's
+            // identity is unchanged, so re-encoding yields the same tag
+            // and the program's existing pointers stay valid.
             match self.heap.realloc(addr, new_size)? {
-                ReallocOutcome::InPlace(a) => {
+                ReallocOutcome::InPlace(mut a) => {
                     self.detector.on_realloc_in_place(addr, new_size);
+                    a.base = self.detector.encode_ptr(a.base);
                     Ok((a, InvalidationReport::default()))
                 }
                 ReallocOutcome::Moved { .. } => {
@@ -127,47 +147,58 @@ impl<D: Detector + ?Sized> HookedHeap<D> {
             }
         } else {
             // Case 3: moved. malloc+memcpy+free with hooks in order.
+            // `new.base` may carry a tag; the raw copy targets the
+            // canonical destination.
             let new = self.malloc(new_size)?;
+            let new_raw = dangsan_vmem::untag(new.base);
             let copied = usable.min(new_size);
             self.heap
                 .mem()
-                .copy(addr, new.base, copied)
+                .copy(addr, new_raw, copied)
                 .expect("both objects mapped");
             // No-op unless the detector implements the §7 memcpy hook.
-            self.detector.on_memcpy(new.base, copied);
-            let report = self.free(addr)?;
+            self.detector.on_memcpy(new_raw, copied);
+            let report = self.free_decoded(addr)?;
             Ok((new, report))
         }
     }
 
     /// The instrumented pointer store: write `value` to `loc` and register
-    /// the location with the detector.
+    /// the location with the detector. The dereference of `loc` first
+    /// passes the detector's [`Detector::check_deref`] — tagging arms
+    /// strip and validate the tag here (identity for every other arm).
     #[inline]
     pub fn store_ptr(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
+        let loc = self.detector.check_deref(loc);
         self.mem().write_word(loc, value)?;
         self.detector.register_ptr(loc, value);
         Ok(())
     }
 
     /// An uninstrumented store (a non-pointer-typed store in the paper's
-    /// terms — the pass does not hook it).
+    /// terms — the pass does not hook it). Still a dereference, so the
+    /// tag check applies.
     #[inline]
     pub fn store_untracked(&self, loc: Addr, value: u64) -> Result<(), MemFault> {
-        self.mem().write_word(loc, value)
+        self.mem().write_word(self.detector.check_deref(loc), value)
     }
 
     /// A hooked `memcpy`: copies the bytes and lets the detector rescan
     /// the destination (a no-op for the paper-default configuration).
     pub fn memcpy(&self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
+        let src = self.detector.check_deref(src);
+        let dst = self.detector.check_deref(dst);
         self.mem().copy(src, dst, len)?;
         self.detector.on_memcpy(dst, len);
         Ok(())
     }
 
-    /// Loads a word, trapping on invalidated pointers like real hardware.
+    /// Loads a word, trapping on invalidated pointers like real hardware
+    /// (and on stale-tagged pointers for the tagging arms, whose check
+    /// rewrites them into the same trapping shape).
     #[inline]
     pub fn load(&self, loc: Addr) -> Result<u64, MemFault> {
-        self.mem().read_word(loc)
+        self.mem().read_word(self.detector.check_deref(loc))
     }
 
     /// Creates a per-thread handle with a private allocator cache.
@@ -194,8 +225,9 @@ impl<D: Detector + ?Sized> HookedThread<D> {
 
     /// Hooked `malloc` via the thread cache.
     pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
-        let a = self.cache.malloc(size)?;
+        let mut a = self.cache.malloc(size)?;
         self.hooked.detector.on_alloc(&a);
+        a.base = self.hooked.detector.encode_ptr(a.base);
         Ok(a)
     }
 
@@ -204,8 +236,9 @@ impl<D: Detector + ?Sized> HookedThread<D> {
     /// sit in quarantine — not in this thread's magazine — until its
     /// sweep retires (see [`HookedHeap::free`]).
     pub fn free(&mut self, addr: Addr) -> Result<InvalidationReport, AllocError> {
+        let addr = self.hooked.detector.decode_free(addr)?;
         if self.hooked.detector.defers_free() {
-            return self.hooked.free(addr);
+            return self.hooked.free_decoded(addr);
         }
         self.hooked.heap.resolve_free(addr)?;
         let report = self.hooked.detector.on_free(addr);

@@ -9,13 +9,15 @@
 //! and (for a quarter of seeds) a two-phase cross-thread handoff where a
 //! writer thread populates the slots and the main thread consumes them.
 //!
-//! Every program runs through every arm: six DangSan configurations
-//! (inline, inline+site-policy, inline+metrics, deferred sweeps with zero
-//! helpers, deferred+site-policy, deferred with two helper threads), the
-//! locked ablation, DangNULL, FreeSentry, the quarantine defence, and the
-//! [`dangsan_baselines::ShadowOracle`] ground truth in both of its modes.
-//! The checker then diffs verdicts and final slab memory under the
-//! per-arm relation each arm's semantics justify (DESIGN.md
+//! Every program runs through every arm ([`ARM_NAMES`], fifteen in
+//! all): six DangSan configurations (inline, inline+site-policy,
+//! inline+metrics, deferred sweeps with zero helpers, deferred+
+//! site-policy, deferred with two helper threads), the locked ablation,
+//! DangNULL, FreeSentry, the quarantine defence, the three
+//! dereference-time tagging arms (xTag, implicit-ID, pa-mac), and the
+//! [`dangsan_baselines::ShadowOracle`] ground truth in both of its
+//! modes. The checker then diffs verdicts and final slab memory under
+//! the per-arm relation each arm's semantics justify (DESIGN.md
 //! "Differential fuzzing"):
 //!
 //! * **Strict** — bit-identical verdicts *and* slab words. Sound for arms
@@ -36,6 +38,16 @@
 //!   when the eager oracle proves the program dereferences something
 //!   dangling under sync semantics — a trap on a provably clean program
 //!   is a divergence, never triaged away.
+//! * **Tagged** — the three tagging arms detect at *dereference* instead
+//!   of free, so their relation (see [`compare_tagged`]) forgives
+//!   exactly the disagreements the tag encoding causes — and turns a
+//!   truncated-tag **miss** into a classified [`ExpectedMiss`] (xTag
+//!   generation wrap, keyed-arm collision proven by a re-keyed rerun)
+//!   rather than either a divergence or a silent pass. The reverse gap
+//!   is classified too: a stale value that escaped invalidation (shrink
+//!   orphan, or a copy made after the free) still traps a tag check —
+//!   an [`ExtraDetection`], forgiven only when the oracle certifies the
+//!   fingered address was once inside a freed object.
 //!
 //! Divergences are delta-debugged back to a minimal statement list
 //! ([`minimize`]) and written to `tests/corpus/` as `.dsir` text, which
@@ -45,11 +57,12 @@ use std::sync::Arc;
 
 use dangsan::{Config, DangSan, Detector, HookedHeap};
 use dangsan_baselines::{
-    DangNull, DangSanLocked, FreeSentry, OracleMode, QuarantineDetector, ShadowOracle,
+    DangNull, DangSanLocked, FreeSentry, OracleMode, QuarantineDetector, ShadowOracle, TagDetector,
+    TagScheme, DEFAULT_TAG_BITS, DEFAULT_TAG_KEY,
 };
 use dangsan_heap::{AllocError, Heap};
 use dangsan_vmem::rng::SmallRng;
-use dangsan_vmem::{Addr, AddressSpace, FaultKind, INVALID_BIT};
+use dangsan_vmem::{untag, Addr, AddressSpace, FaultKind, INVALID_BIT};
 
 use crate::instrument::{instrument, PassOptions};
 use crate::interp::{Machine, Trap};
@@ -419,11 +432,13 @@ fn finish_arm<D: Detector + ?Sized>(
     verdicts: Vec<Verdict>,
     drain: bool,
 ) -> ArmRun {
+    // The slab pointer carries a spare-bit tag under the tagging arms
+    // (identity elsewhere); the raw read targets the canonical address.
     let mem = hh.mem();
-    let pre = read_slab(mem, slab);
+    let pre = read_slab(mem, untag(slab));
     let post = drain.then(|| {
         hh.detector().drain();
-        read_slab(mem, slab)
+        read_slab(mem, untag(slab))
     });
     ArmRun {
         verdicts,
@@ -636,16 +651,268 @@ fn check_envelope(
     }
 }
 
+/// A disagreement a tagging arm's *analytic guarantee* forgives: the
+/// truncated tag width made the arm run clean where the oracle trapped.
+/// Classified and counted, never silently accepted — an unclassifiable
+/// miss is a [`Divergence`].
+#[derive(Debug, Clone)]
+pub struct ExpectedMiss {
+    /// The tagging arm that missed.
+    pub arm: &'static str,
+    /// `"tag-wrap"` (xTag generation-space exhaustion, proven by the
+    /// arm's wrap counter) or `"key-collision"` (truncated hash/MAC
+    /// collision, proven by a re-keyed rerun that does trap).
+    pub kind: &'static str,
+    /// Human-readable description of the forgiven miss.
+    pub what: String,
+}
+
+/// The mirror image of an [`ExpectedMiss`]: the tagging arm *detected*
+/// something DangSan semantics structurally cannot. Invalidation can
+/// only rewrite copies that exist — and still point into the object —
+/// at free time: a value orphaned by a shrinking realloc (the paper's
+/// `# stale` column) or copied out of a stale register *after* the free
+/// stays raw forever, while a tag check judges the value itself and
+/// still traps it. Forgiven only when the oracle certifies the exact
+/// address the arm fingered was once inside a freed object
+/// ([`ShadowOracle::ever_dangling`]); an arm-side trap on an address
+/// with no such history is a divergence, never triaged away.
+#[derive(Debug, Clone)]
+pub struct ExtraDetection {
+    /// The tagging arm that detected more than the oracle.
+    pub arm: &'static str,
+    /// Human-readable description of the extra detection.
+    pub what: String,
+}
+
+/// Everything one program's cross-arm comparison produced.
+#[derive(Debug, Clone, Default)]
+pub struct FullReport {
+    /// Real disagreements (empty = the program is agreed on).
+    pub divergences: Vec<Divergence>,
+    /// Guarantee-forgiven tagging-arm misses (see [`ExpectedMiss`]).
+    pub expected_misses: Vec<ExpectedMiss>,
+    /// Guarantee-forgiven tagging-arm extra detections (see
+    /// [`ExtraDetection`]).
+    pub extra_detections: Vec<ExtraDetection>,
+}
+
+/// Every arm [`check_program`] runs, in checker order. CI and the
+/// `fuzz_diff` summary print this list so a failure names the matrix.
+pub const ARM_NAMES: [&str; 15] = [
+    "oracle-eager",
+    "oracle-lazy",
+    "dangsan-inline",
+    "dangsan-site",
+    "dangsan-metrics",
+    "dangsan-locked",
+    "freesentry",
+    "dangnull",
+    "dangsan-deferred",
+    "dangsan-deferred-site",
+    "quarantine",
+    "dangsan-deferred-mt",
+    "xtag",
+    "implicit-id",
+    "pa-mac",
+];
+
+fn run_tag_arm(prog: &Program, threaded: bool, scheme: TagScheme) -> (ArmRun, Arc<TagDetector>) {
+    let (_, heap) = env();
+    let det = TagDetector::new(scheme);
+    let hh = HookedHeap::new(heap, Arc::clone(&det));
+    (run_arm(prog, threaded, hh, false), det)
+}
+
+/// The same scheme under a different key (width unchanged). A miss that
+/// was a truncated-tag *collision* is key-dependent: the re-keyed run
+/// traps where the original ran clean, which is how the checker proves a
+/// keyed arm's miss is the modeled `2^-k` event and not a tracking bug.
+/// xTag is keyless — its misses are proven by the wrap counter instead.
+fn rekey(scheme: TagScheme) -> TagScheme {
+    const REKEY_XOR: u64 = 0x0517_EC0D_E0DD_BA11;
+    match scheme {
+        TagScheme::XTag { bits } => TagScheme::XTag { bits },
+        TagScheme::ImplicitId { bits, key } => TagScheme::ImplicitId {
+            bits,
+            key: key ^ REKEY_XOR,
+        },
+        TagScheme::PaMac { bits, key } => TagScheme::PaMac {
+            bits,
+            key: key ^ REKEY_XOR,
+        },
+    }
+}
+
+/// The tagging-arm relation, against the eager oracle (the arms free
+/// synchronously, so allocation placement matches; only the *detection
+/// mechanism* differs). Per phase, in order:
+///
+/// * Bit-identical verdicts compare on (the common case: a stale-tag
+///   dereference traps with the very `canonical | INVALID_BIT` payload
+///   the invalidation sweep produces).
+/// * Abort-vs-abort taxonomy shifts the tag encoding legitimately causes
+///   are forgiven, and end the comparison (the aborts may sit at
+///   different statements, leaving heap and slab incomparable):
+///   stale-tag UAF where the oracle's wild dereference faults raw (a
+///   `gep` past the canonical line lands *in the tag field*, so the arm
+///   sees a mismatched tag on a resolvable block); any allocator
+///   rejection pair (`DoubleFree` through a masked slot vs
+///   `InvalidPointer` through a stale tag).
+/// * An arm-side clean run where the oracle trapped is a **miss**:
+///   expected — classified, counted — iff the arm's guarantee forgives
+///   it (xTag wrapped its generation space; a re-keyed rerun of a keyed
+///   arm traps at the same phase).
+/// * An arm-side abort (stale-tag UAF or invalid-pointer rejection)
+///   where the oracle ran clean is an **extra detection**: the value
+///   escaped invalidation — a shrink orphaned it out of the logical
+///   extent before the free, or it was copied from a stale register
+///   *after* the free, when there was nothing left to rewrite — while
+///   the tag check judges the value itself. Forgiven iff the oracle
+///   certifies the trapped address was once inside a freed object
+///   ([`ShadowOracle::ever_dangling`], measured by largest lifetime
+///   extent); a trap on an address with no such history is a
+///   divergence, never triaged away.
+///
+/// Anything else is a divergence. When every verdict matched
+/// bit-for-bit, the slab is compared slot by slot: canonical bits
+/// exact, and the arm's stale-probe must equal the oracle's dead bit
+/// (modulo the same classified misses and extra detections).
+fn compare_tagged(
+    report: &mut FullReport,
+    arm: &'static str,
+    run: &ArmRun,
+    eager: &ArmRun,
+    det: &TagDetector,
+    oracle: &ShadowOracle,
+    rerun: impl Fn() -> (ArmRun, Arc<TagDetector>),
+) {
+    let mut rekeyed: Option<(ArmRun, Arc<TagDetector>)> = None;
+    for (i, (got, want)) in run.verdicts.iter().zip(eager.verdicts.iter()).enumerate() {
+        if got == want {
+            continue;
+        }
+        let accepted = match (class_of(got), class_of(want)) {
+            (VerdictClass::Uaf, VerdictClass::Uaf) => true,
+            (VerdictClass::Uaf, VerdictClass::Fault(FaultKind::NonCanonical)) => true,
+            (VerdictClass::Fault(a), VerdictClass::Fault(b)) => a == b,
+            (VerdictClass::Alloc(_), VerdictClass::Alloc(_)) => true,
+            _ => false,
+        };
+        if accepted {
+            return; // both aborted phase i; later state is incomparable
+        }
+        if got.is_ok() && want.is_err() {
+            let kind = match det.scheme() {
+                TagScheme::XTag { .. } => (det.tag_wraps() > 0).then_some("tag-wrap"),
+                _ => {
+                    let (rrun, _) = rekeyed.get_or_insert_with(&rerun);
+                    rrun.verdicts
+                        .get(i)
+                        .is_some_and(|v| v.is_err())
+                        .then_some("key-collision")
+                }
+            };
+            if let Some(kind) = kind {
+                report.expected_misses.push(ExpectedMiss {
+                    arm,
+                    kind,
+                    what: format!("phase {i}: ran clean where the oracle trapped {want:?}"),
+                });
+                return; // the arm ran past the abort; state is incomparable
+            }
+        }
+        // The canonical address a tag-mismatch abort fingered, if any:
+        // the arm says "this value is stale" — the oracle can certify
+        // whether that address was ever part of a freed object.
+        let fingered = match got {
+            Err(Trap::UseAfterFree(a)) => Some(untag(*a) & !INVALID_BIT),
+            Err(Trap::Alloc(AllocError::InvalidPointer(p))) => Some(untag(*p) & !INVALID_BIT),
+            _ => None,
+        };
+        if let Some(addr) = fingered {
+            if want.is_ok() && oracle.ever_dangling(addr) {
+                report.extra_detections.push(ExtraDetection {
+                    arm,
+                    what: format!("phase {i}: trapped {got:?} where the oracle ran clean"),
+                });
+                return; // the oracle ran past the abort; state is incomparable
+            }
+        }
+        push(
+            &mut report.divergences,
+            arm,
+            format!("phase {i}: verdict {got:?} vs eager oracle {want:?}"),
+        );
+        return;
+    }
+    for (s, (a, o)) in run.pre.iter().zip(eager.pre.iter()).enumerate() {
+        let (a_can, o_can) = (untag(*a) & !INVALID_BIT, o & !INVALID_BIT);
+        if a_can != o_can {
+            push(
+                &mut report.divergences,
+                arm,
+                format!("slot {s}: canonical bits {a:#x} vs oracle {o:#x}"),
+            );
+            return;
+        }
+        let oracle_dead = o & INVALID_BIT != 0;
+        let arm_stale = det.probe(*a);
+        if oracle_dead && !arm_stale {
+            let kind = match det.scheme() {
+                TagScheme::XTag { .. } => (det.tag_wraps() > 0).then_some("tag-wrap"),
+                _ => {
+                    let (rrun, rdet) = rekeyed.get_or_insert_with(&rerun);
+                    rrun.pre
+                        .get(s)
+                        .is_some_and(|w| rdet.probe(*w))
+                        .then_some("key-collision")
+                }
+            };
+            match kind {
+                Some(kind) => report.expected_misses.push(ExpectedMiss {
+                    arm,
+                    kind,
+                    what: format!("slot {s}: probes live where the oracle masked it"),
+                }),
+                None => push(
+                    &mut report.divergences,
+                    arm,
+                    format!("slot {s}: {a:#x} probes live where the oracle masked {o:#x}"),
+                ),
+            }
+        } else if !oracle_dead && arm_stale {
+            if oracle.ever_dangling(a_can) {
+                report.extra_detections.push(ExtraDetection {
+                    arm,
+                    what: format!("slot {s}: stale-tag probe on a value invalidation missed"),
+                });
+            } else {
+                push(
+                    &mut report.divergences,
+                    arm,
+                    format!("slot {s}: stale-tag probe on {a:#x}, which the oracle left live"),
+                );
+            }
+        }
+    }
+}
+
 /// Runs `prog` through every arm and returns all divergences (empty =
 /// the program is agreed on). Threadedness is structural: programs with
 /// more than one function run their first phase on a spawned thread.
 pub fn check_program(prog: &Program) -> Vec<Divergence> {
+    check_program_full(prog).divergences
+}
+
+/// [`check_program`] plus the tagging arms' classified expected misses.
+pub fn check_program_full(prog: &Program) -> FullReport {
     let threaded = prog.funcs.len() > 1;
     let (instrumented, _) = instrument(prog, PassOptions::optimized());
     instrumented.validate().expect("instrumented program valid");
     let prog = &instrumented;
 
-    let (eager, _) = run_oracle(prog, threaded, OracleMode::Eager);
+    let (eager, eager_det) = run_oracle(prog, threaded, OracleMode::Eager);
     let (lazy, _) = run_oracle(prog, threaded, OracleMode::Lazy);
     // Any trap under sync semantics proves the program touches something
     // dangling; the envelope check leans on this.
@@ -740,7 +1007,43 @@ pub fn check_program(prog: &Program) -> Vec<Divergence> {
         check_envelope(&mut divs, "dangsan-deferred-mt", &run, &lazy, exposure);
     }
 
-    divs
+    // --- dereference-time tagging arms vs the eager oracle -------------
+    let mut report = FullReport {
+        divergences: divs,
+        expected_misses: Vec::new(),
+        extra_detections: Vec::new(),
+    };
+    let tag_arms: [(&'static str, TagScheme); 3] = [
+        (
+            "xtag",
+            TagScheme::XTag {
+                bits: DEFAULT_TAG_BITS,
+            },
+        ),
+        (
+            "implicit-id",
+            TagScheme::ImplicitId {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+        ),
+        (
+            "pa-mac",
+            TagScheme::PaMac {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+        ),
+    ];
+    for (name, scheme) in tag_arms {
+        let (run, det) = run_tag_arm(prog, threaded, scheme);
+        let rekeyed = rekey(scheme);
+        compare_tagged(&mut report, name, &run, &eager, &det, &eager_det, || {
+            run_tag_arm(prog, threaded, rekeyed)
+        });
+    }
+
+    report
 }
 
 /// Runs just the eager oracle over an (uninstrumented) program —
@@ -756,11 +1059,18 @@ pub fn oracle_verdicts(prog: &Program) -> Vec<Verdict> {
 /// Generates, compiles and checks one seed; returns the scenario and any
 /// divergences.
 pub fn check_seed(seed: u64) -> (Scenario, Vec<Divergence>) {
+    let (scn, report) = check_seed_full(seed);
+    (scn, report.divergences)
+}
+
+/// [`check_seed`] with the full report, classified tagging-arm misses
+/// included (the `fuzz_diff` campaign tallies these).
+pub fn check_seed_full(seed: u64) -> (Scenario, FullReport) {
     let scn = Scenario::generate(seed);
     let prog = scn.compile();
     prog.validate().expect("generated program valid");
-    let divs = check_program(&prog);
-    (scn, divs)
+    let report = check_program_full(&prog);
+    (scn, report)
 }
 
 fn still_fails(scn: &Scenario, arm: &str) -> bool {
@@ -928,6 +1238,202 @@ mod tests {
         );
         let (lazy, _) = run_oracle(&instrumented, false, OracleMode::Lazy);
         assert_eq!(lazy.verdicts[0], Ok(Some(0)), "deferred timing: no trap");
+    }
+
+    /// store; free; deref — the canonical UAF, as an instrumented
+    /// program plus its eager-oracle run (the tagging-relation tests
+    /// replay tiny-width arms against it).
+    fn uaf_prog_and_oracle() -> (Program, ArmRun, Arc<ShadowOracle>) {
+        let scn = Scenario {
+            threaded: false,
+            phases: vec![Phase {
+                obj_sizes: vec![48],
+                stmts: vec![
+                    Stmt::Store {
+                        obj: 0,
+                        slot: 0,
+                        off: 0,
+                    },
+                    Stmt::FreeObj { obj: 0 },
+                    Stmt::DerefSlot { slot: 0 },
+                ],
+            }],
+        };
+        let (instrumented, _) = instrument(&scn.compile(), PassOptions::optimized());
+        let (eager, eager_det) = run_oracle(&instrumented, false, OracleMode::Eager);
+        (instrumented, eager, eager_det)
+    }
+
+    #[test]
+    fn full_width_tagging_arms_trap_the_canonical_uaf() {
+        let (prog, eager, oracle) = uaf_prog_and_oracle();
+        assert!(matches!(eager.verdicts[0], Err(Trap::UseAfterFree(_))));
+        for scheme in [
+            TagScheme::XTag {
+                bits: DEFAULT_TAG_BITS,
+            },
+            TagScheme::ImplicitId {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+            TagScheme::PaMac {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            },
+        ] {
+            let (run, det) = run_tag_arm(&prog, false, scheme);
+            // Bit-identical trap: same phase, same UAF payload as the
+            // invalidation sweep produces.
+            assert_eq!(run.verdicts, eager.verdicts, "{scheme:?}");
+            let mut report = FullReport::default();
+            compare_tagged(&mut report, "tag", &run, &eager, &det, &oracle, || {
+                run_tag_arm(&prog, false, rekey(scheme))
+            });
+            assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+            assert!(report.expected_misses.is_empty());
+        }
+    }
+
+    #[test]
+    fn xtag_wrap_miss_is_classified_not_divergent() {
+        // A 1-bit generation tag has a single nonzero value: the very
+        // first free exhausts the space, so the stale pointer
+        // revalidates and the arm runs clean where the oracle traps.
+        // The relation must file that under expected_misses["tag-wrap"],
+        // not as a divergence.
+        let (prog, eager, oracle) = uaf_prog_and_oracle();
+        let scheme = TagScheme::XTag { bits: 1 };
+        let (run, det) = run_tag_arm(&prog, false, scheme);
+        assert!(run.verdicts[0].is_ok(), "the miss itself");
+        assert!(det.tag_wraps() > 0, "exhaustion recorded");
+        let mut report = FullReport::default();
+        compare_tagged(&mut report, "xtag", &run, &eager, &det, &oracle, || {
+            run_tag_arm(&prog, false, scheme)
+        });
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert_eq!(report.expected_misses.len(), 1);
+        assert_eq!(report.expected_misses[0].kind, "tag-wrap");
+    }
+
+    #[test]
+    fn keyed_collision_miss_is_classified_by_the_rekeyed_rerun() {
+        // At 1 bit the implicit-ID hash collides for half of all keys.
+        // Find a key that collides (the arm misses) while its re-keyed
+        // counterpart does not (the rerun traps): the relation must
+        // prove the miss key-dependent and classify it.
+        let (prog, eager, oracle) = uaf_prog_and_oracle();
+        let key = (0u64..200)
+            .find(|&k| {
+                let scheme = TagScheme::ImplicitId { bits: 1, key: k };
+                let (run, _) = run_tag_arm(&prog, false, scheme);
+                let (rerun, _) = run_tag_arm(&prog, false, rekey(scheme));
+                run.verdicts[0].is_ok() && rerun.verdicts[0].is_err()
+            })
+            .expect("a colliding key exists among 200 candidates");
+        let scheme = TagScheme::ImplicitId { bits: 1, key };
+        let (run, det) = run_tag_arm(&prog, false, scheme);
+        let mut report = FullReport::default();
+        compare_tagged(
+            &mut report,
+            "implicit-id",
+            &run,
+            &eager,
+            &det,
+            &oracle,
+            || run_tag_arm(&prog, false, rekey(scheme)),
+        );
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert_eq!(report.expected_misses.len(), 1);
+        assert_eq!(report.expected_misses[0].kind, "key-collision");
+    }
+
+    #[test]
+    fn shrink_orphan_is_an_extra_detection_not_a_divergence() {
+        // Minimized from fuzz seed 1592652438: an interior pointer is
+        // stored, then the object shrinks to zero via realloc, then is
+        // freed. The sweep skips the slot as a stale log entry (the
+        // value no longer points into the logical object), leaving it
+        // live; the tag arms judge the value itself and probe it stale.
+        // That is the tagging family's *extra* detection — classified,
+        // counted, and not a divergence.
+        let scn = Scenario {
+            threaded: false,
+            phases: vec![Phase {
+                obj_sizes: vec![96],
+                stmts: vec![
+                    Stmt::Store {
+                        obj: 0,
+                        slot: 6,
+                        off: 64,
+                    },
+                    Stmt::ReallocObj { obj: 0, size: 0 },
+                    Stmt::FreeObj { obj: 0 },
+                ],
+            }],
+        };
+        let report = check_program_full(&scn.compile());
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert!(report.expected_misses.is_empty());
+        assert_eq!(
+            report.extra_detections.len(),
+            3,
+            "each tagging arm files one: {:?}",
+            report.extra_detections
+        );
+    }
+
+    #[test]
+    fn post_free_copy_is_an_extra_detection_not_a_divergence() {
+        // Minimized from fuzz seeds 424263/424474/424546: the object is
+        // freed through a slot-loaded copy, then a pointer derived from
+        // the stale handle register is stored into another slot. The
+        // copy is made *after* the free — there was nothing at that
+        // location for the invalidation walk to rewrite, and the
+        // oracle drops post-free registrations (DangSan's detached-chain
+        // rule) — so the value stays raw forever under invalidation
+        // semantics. The tag arms judge the value itself, probe it
+        // stale, and the oracle's ever-dangling certificate files that
+        // as an extra detection, not a divergence.
+        let scn = Scenario {
+            threaded: false,
+            phases: vec![Phase {
+                obj_sizes: vec![32],
+                stmts: vec![
+                    Stmt::Store {
+                        obj: 0,
+                        slot: 1,
+                        off: 0,
+                    },
+                    Stmt::FreeSlot { slot: 1 },
+                    Stmt::Store {
+                        obj: 0,
+                        slot: 2,
+                        off: 8,
+                    },
+                ],
+            }],
+        };
+        let report = check_program_full(&scn.compile());
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert!(report.expected_misses.is_empty());
+        assert_eq!(
+            report.extra_detections.len(),
+            3,
+            "each tagging arm files one: {:?}",
+            report.extra_detections
+        );
+    }
+
+    #[test]
+    fn arm_names_match_what_the_checker_runs() {
+        assert_eq!(ARM_NAMES.len(), 15);
+        for pair in ARM_NAMES.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+        // Names used by the tagging section exist in the list.
+        for name in ["xtag", "implicit-id", "pa-mac"] {
+            assert!(ARM_NAMES.contains(&name));
+        }
     }
 
     #[test]

@@ -23,6 +23,36 @@ pub const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
 /// pointers keeps working for programs like soplex).
 pub const INVALID_BIT: u64 = 1 << 63;
 
+/// First bit of the spare high range a software pointer tag may occupy.
+///
+/// User addresses stay below the 47-bit line (see [`is_canonical_user`]),
+/// bit 63 is reserved for [`INVALID_BIT`], so bits 48..=62 are free for
+/// the pointer-tagging defense arms (xTag-style generation tags, implicit
+/// identifiers, truncated pointer MACs). A tagged pointer is non-canonical
+/// — dereferencing it raw would trap — which is exactly why the tagging
+/// arms strip the field at their dereference check.
+pub const TAG_SHIFT: u32 = 48;
+/// Width of the spare tag field (bits 48..=62).
+pub const TAG_BITS: u32 = 15;
+/// Mask selecting the spare tag field.
+pub const TAG_MASK: u64 = ((1 << TAG_BITS) - 1) << TAG_SHIFT;
+
+/// Extracts the spare-bit tag field of `addr`.
+pub fn tag_of(addr: Addr) -> u64 {
+    (addr & TAG_MASK) >> TAG_SHIFT
+}
+
+/// Clears the spare tag field, leaving [`INVALID_BIT`] and the canonical
+/// low bits untouched. Identity for untagged addresses.
+pub fn untag(addr: Addr) -> Addr {
+    addr & !TAG_MASK
+}
+
+/// Folds `tag` (truncated to the field width) into `addr`'s spare bits.
+pub fn with_tag(addr: Addr, tag: u64) -> Addr {
+    untag(addr) | ((tag << TAG_SHIFT) & TAG_MASK)
+}
+
 /// Base of the simulated globals segment.
 pub const GLOBALS_BASE: Addr = 0x0000_0100_0000_0000;
 /// Size of the globals segment (256 MiB).
@@ -79,6 +109,19 @@ mod tests {
     fn invalidation_is_reversible() {
         let p = HEAP_BASE + 0x1234;
         assert_eq!(canonical(p | INVALID_BIT), p);
+    }
+
+    #[test]
+    fn tag_field_round_trips_and_stays_clear_of_bit_63() {
+        let p = HEAP_BASE + 0x40;
+        let t = with_tag(p, 0x5A17);
+        assert_eq!(tag_of(t), 0x5A17);
+        assert_eq!(untag(t), p);
+        assert!(!is_canonical_user(t), "a tagged pointer traps raw");
+        // The field is truncated, never spills into INVALID_BIT.
+        assert_eq!(with_tag(p, u64::MAX) & INVALID_BIT, 0);
+        assert_eq!(untag(p), p, "identity on untagged addresses");
+        assert_eq!(untag(with_tag(p, 7) | INVALID_BIT), p | INVALID_BIT);
     }
 
     #[test]

@@ -28,8 +28,9 @@ mod space;
 
 pub use bump::BumpSegment;
 pub use layout::{
-    canonical, is_canonical_user, page_of, word_index, Addr, GLOBALS_BASE, GLOBALS_SIZE, HEAP_BASE,
-    HEAP_SIZE, INVALID_BIT, PAGE_SHIFT, PAGE_SIZE, STACKS_BASE, STACKS_SIZE, WORDS_PER_PAGE,
+    canonical, is_canonical_user, page_of, tag_of, untag, with_tag, word_index, Addr, GLOBALS_BASE,
+    GLOBALS_SIZE, HEAP_BASE, HEAP_SIZE, INVALID_BIT, PAGE_SHIFT, PAGE_SIZE, STACKS_BASE,
+    STACKS_SIZE, TAG_BITS, TAG_MASK, TAG_SHIFT, WORDS_PER_PAGE,
 };
 pub use space::{AddressSpace, CasOutcome, PageRef, TlbStats};
 

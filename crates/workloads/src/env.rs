@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use dangsan::{Config, DangSan, Detector, HookedHeap, NullDetector};
-use dangsan_baselines::{DangNull, DangSanLocked, FreeSentry};
+use dangsan_baselines::{DangNull, DangSanLocked, FreeSentry, TagDetector, TagScheme};
 use dangsan_heap::Heap;
 use dangsan_vmem::AddressSpace;
 
@@ -20,6 +20,8 @@ pub enum DetectorKind {
     DangNull,
     /// The FreeSentry-style comparator (single-threaded only).
     FreeSentry,
+    /// A dereference-time tagging arm (xTag / implicit-ID / PA-MAC).
+    Tagging(TagScheme),
 }
 
 impl DetectorKind {
@@ -31,6 +33,9 @@ impl DetectorKind {
             DetectorKind::DangSanLocked(_) => "dangsan-locked",
             DetectorKind::DangNull => "dangnull",
             DetectorKind::FreeSentry => "freesentry",
+            DetectorKind::Tagging(TagScheme::XTag { .. }) => "xtag",
+            DetectorKind::Tagging(TagScheme::ImplicitId { .. }) => "implicit-id",
+            DetectorKind::Tagging(TagScheme::PaMac { .. }) => "pa-mac",
         }
     }
 
@@ -130,6 +135,36 @@ pub fn metrics_env_overrides(mut cfg: Config) -> Config {
     cfg
 }
 
+/// Environment-variable overrides for the tagging-arm knobs, mirroring
+/// [`sweep_env_overrides`]: `TAG_BITS=N` sets the spare-bit tag width
+/// (the detector clamps it to 1..=15) and `TAG_KEY=0xHEX` the key of
+/// the keyed schemes (xTag is keyless; its key is left alone). Unset or
+/// unparsable variables leave `scheme` untouched. Applied by the perf
+/// harnesses only; the fuzz relation and detection tests pin their own
+/// widths and keys.
+pub fn tagging_env_overrides(scheme: TagScheme) -> TagScheme {
+    let bits = std::env::var("TAG_BITS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok());
+    let key = std::env::var("TAG_KEY").ok().and_then(|v| {
+        let v = v.trim();
+        u64::from_str_radix(v.strip_prefix("0x").unwrap_or(v), 16).ok()
+    });
+    match scheme {
+        TagScheme::XTag { bits: b } => TagScheme::XTag {
+            bits: bits.unwrap_or(b),
+        },
+        TagScheme::ImplicitId { bits: b, key: k } => TagScheme::ImplicitId {
+            bits: bits.unwrap_or(b),
+            key: key.unwrap_or(k),
+        },
+        TagScheme::PaMac { bits: b, key: k } => TagScheme::PaMac {
+            bits: bits.unwrap_or(b),
+            key: key.unwrap_or(k),
+        },
+    }
+}
+
 /// A fresh single-threaded environment (any detector kind).
 pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
     let mem = Arc::new(AddressSpace::new());
@@ -141,6 +176,7 @@ pub fn local_env(kind: DetectorKind) -> HookedHeap<dyn Detector> {
         DetectorKind::DangSanLocked(cfg) => DangSanLocked::new(Arc::clone(&mem), cfg),
         DetectorKind::DangNull => DangNull::new(Arc::clone(&mem)),
         DetectorKind::FreeSentry => FreeSentry::new(Arc::clone(&mem), Arc::clone(&heap)),
+        DetectorKind::Tagging(scheme) => TagDetector::new(scheme),
     };
     HookedHeap::new(heap, det)
 }
@@ -165,6 +201,7 @@ pub fn shared_env(kind: DetectorKind) -> HookedHeap<dyn Detector + Send + Sync> 
         DetectorKind::FreeSentry => {
             panic!("FreeSentry does not support multithreaded programs")
         }
+        DetectorKind::Tagging(scheme) => TagDetector::new(scheme),
     };
     HookedHeap::new(heap, det)
 }
@@ -173,14 +210,36 @@ pub fn shared_env(kind: DetectorKind) -> HookedHeap<dyn Detector + Send + Sync> 
 mod tests {
     use super::*;
 
+    use dangsan_baselines::{DEFAULT_TAG_BITS, DEFAULT_TAG_KEY};
+
+    fn tagging_kinds() -> [DetectorKind; 3] {
+        [
+            DetectorKind::Tagging(TagScheme::XTag {
+                bits: DEFAULT_TAG_BITS,
+            }),
+            DetectorKind::Tagging(TagScheme::ImplicitId {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            }),
+            DetectorKind::Tagging(TagScheme::PaMac {
+                bits: DEFAULT_TAG_BITS,
+                key: DEFAULT_TAG_KEY,
+            }),
+        ]
+    }
+
     #[test]
     fn every_kind_builds_a_local_env() {
+        let [xtag, implicit, pamac] = tagging_kinds();
         for kind in [
             DetectorKind::Baseline,
             DetectorKind::DangSan(Config::default()),
             DetectorKind::DangSanLocked(Config::default()),
             DetectorKind::DangNull,
             DetectorKind::FreeSentry,
+            xtag,
+            implicit,
+            pamac,
         ] {
             let hh = local_env(kind);
             let a = hh.malloc(32).unwrap();
@@ -189,12 +248,24 @@ mod tests {
     }
 
     #[test]
+    fn tagging_labels_name_the_scheme() {
+        let [xtag, implicit, pamac] = tagging_kinds();
+        assert_eq!(xtag.label(), "xtag");
+        assert_eq!(implicit.label(), "implicit-id");
+        assert_eq!(pamac.label(), "pa-mac");
+    }
+
+    #[test]
     fn shared_env_works_for_thread_safe_kinds() {
+        let [xtag, implicit, pamac] = tagging_kinds();
         for kind in [
             DetectorKind::Baseline,
             DetectorKind::DangSan(Config::default()),
             DetectorKind::DangSanLocked(Config::default()),
             DetectorKind::DangNull,
+            xtag,
+            implicit,
+            pamac,
         ] {
             assert!(kind.thread_safe());
             let hh = shared_env(kind);
@@ -288,6 +359,41 @@ mod tests {
 
         std::env::remove_var("METRICS");
         std::env::remove_var("METRICS_INTERVAL_MS");
+
+        // Tagging axis, same discipline (and same single-test rule).
+        let base = TagScheme::ImplicitId {
+            bits: DEFAULT_TAG_BITS,
+            key: DEFAULT_TAG_KEY,
+        };
+        assert_eq!(tagging_env_overrides(base), base);
+
+        std::env::set_var("TAG_BITS", "4");
+        std::env::set_var("TAG_KEY", "0xBEEF");
+        assert_eq!(
+            tagging_env_overrides(base),
+            TagScheme::ImplicitId {
+                bits: 4,
+                key: 0xBEEF
+            }
+        );
+        assert_eq!(
+            tagging_env_overrides(TagScheme::XTag {
+                bits: DEFAULT_TAG_BITS
+            }),
+            TagScheme::XTag { bits: 4 },
+            "xTag takes the width and ignores the key"
+        );
+
+        std::env::set_var("TAG_BITS", "banana");
+        std::env::set_var("TAG_KEY", "banana");
+        assert_eq!(
+            tagging_env_overrides(base),
+            base,
+            "unparsable values leave the scheme untouched"
+        );
+
+        std::env::remove_var("TAG_BITS");
+        std::env::remove_var("TAG_KEY");
     }
 
     #[test]

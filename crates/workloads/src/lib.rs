@@ -24,7 +24,7 @@ pub mod spec;
 pub use cost::{calibrate, CostModel};
 pub use env::{
     local_env, metrics_env_overrides, shared_env, site_policy_env_overrides, sweep_env_overrides,
-    DetectorKind,
+    tagging_env_overrides, DetectorKind,
 };
 pub use profiles::ServerProfile;
 pub use server::{run_server, run_server_opts, ClassLatency, ServerOptions, ServerResult};

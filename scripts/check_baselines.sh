@@ -27,6 +27,12 @@
 #     Override with VERIFY_SCALING_MIN=<float>. The thread-cached
 #     allocator must also hold >= 0.95x the locked path at 1 thread
 #     (override with VERIFY_SCALING_LOCKED_MIN),
+#   - BENCH_scaling.json's cross-defense rows are missing or malformed:
+#     every arm in the defense enum (baseline dangsan dangnull xtag
+#     implicit-id pa-mac) must carry a parsable ops_per_sec and a
+#     parsable overhead_vs_baseline >= 0,
+#   - BENCH_server.json's tagging-arm capacity rows (xtag implicit-id
+#     pa-mac) miss their overhead_vs_baseline >= 0,
 #   - BENCH_server.json is missing, unparsable, carries the wrong schema,
 #     or misses the cores-keyed dangsan/baseline capacity-ratio floor
 #     (instrumentation costs throughput, but only so much):
@@ -53,6 +59,11 @@ DEFERRED_BENCHES="free_many_objs free_while_reg"
 # on an identical clean-site churn; below 1.0 means the Thin fast path
 # failed to reclaim the work it exists to skip.
 ROUTED_BENCHES="malloc_free_thin"
+# The cross-defense arm enum: one row per defense class in the scaling
+# bench's "defenses" section. Must match scaling.rs defense_arms().
+DEFENSE_ARMS="baseline dangsan dangnull xtag implicit-id pa-mac"
+# The tagging arms that carry capacity rows in BENCH_server.json.
+TAGGING_ARMS="xtag implicit-id pa-mac"
 
 status=0
 
@@ -64,6 +75,22 @@ num_of() {
     awk -v key="\"$2\"" -v section="\"${3-}\"" '
         section != "\"\"" && index($0, section) { in_section = 1 }
         (section == "\"\"" || in_section) && index($0, key) {
+            for (i = 1; i <= NF; i++) if (index($i, key)) {
+                v = $(i + 1); gsub(/[",]/, "", v); print v; exit
+            }
+        }
+    ' "$1"
+}
+
+# Like num_of, but two anchors deep: match KEY only after both the
+# SECTION key and the ARM key inside it have been seen (our writer
+# emits rows in declaration order, one key per line).
+# Usage: row_num_of FILE SECTION ARM KEY
+row_num_of() {
+    awk -v section="\"$2\"" -v arm="\"$3\"" -v key="\"$4\"" '
+        index($0, section) { in_section = 1 }
+        in_section && index($0, arm) { in_arm = 1 }
+        in_arm && index($0, key) {
             for (i = 1; i <= NF; i++) if (index($i, key)) {
                 v = $(i + 1); gsub(/[",]/, "", v); print v; exit
             }
@@ -157,6 +184,15 @@ if [[ -f "$scaling" ]]; then
         v=$(num_of "$scaling" "$key" dangsan)
         check_num "$scaling" "dangsan.t1.$key" "$v" 0 || status=1
     done
+    # Cross-defense rows: every arm in the enum must be present with a
+    # parsable throughput and overhead ratio (floor 0 — presence and
+    # parsability; the ratios themselves are machine-shaped).
+    for arm in $DEFENSE_ARMS; do
+        v=$(row_num_of "$scaling" defenses "$arm" ops_per_sec)
+        check_num "$scaling" "defenses.$arm.ops_per_sec" "$v" 0 || status=1
+        v=$(row_num_of "$scaling" defenses "$arm" overhead_vs_baseline)
+        check_num "$scaling" "defenses.$arm.overhead_vs_baseline" "$v" 0 || status=1
+    done
 fi
 
 # --- BENCH_server.json ----------------------------------------------------
@@ -185,6 +221,14 @@ if [[ -f "$server" ]]; then
     for key in offered_rps sessions_churned; do
         v=$(num_of "$server" "$key" dangsan)
         check_num "$server" "dangsan.open_loop.$key" "$v" 0 || status=1
+    done
+    # Tagging-arm capacity rows: each must be present with a parsable
+    # capacity and overhead ratio.
+    for arm in $TAGGING_ARMS; do
+        v=$(row_num_of "$server" arms "$arm" capacity_rps)
+        check_num "$server" "arms.$arm.capacity_rps" "$v" 0 || status=1
+        v=$(row_num_of "$server" arms "$arm" overhead_vs_baseline)
+        check_num "$server" "arms.$arm.overhead_vs_baseline" "$v" 0 || status=1
     done
 fi
 

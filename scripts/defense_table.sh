@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Render the cross-defense comparison as a markdown table from a scaling
+# bench JSON (the "defenses" section scaling.rs emits: one row per
+# defense class with throughput, overhead vs the uninstrumented
+# baseline, metadata bytes, and the detection guarantee). No cargo,
+# shell + awk only — used by the EXPERIMENTS.md table and the CI
+# arm-comparison artifact.
+#
+# Usage: scripts/defense_table.sh [SCALING_JSON]   (default BENCH_scaling.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+src=${1:-BENCH_scaling.json}
+if [[ ! -f "$src" ]]; then
+    echo "defense_table: no $src; generate one:" >&2
+    echo "    cargo run --release -p dangsan-bench --bin scaling -- --quick --out $src" >&2
+    exit 1
+fi
+
+awk '
+    function num(s) { sub(/^[^:]*: */, "", s); gsub(/[",]/, "", s); return s }
+    function str(s) { sub(/^[^:]*: *"/, "", s); sub(/",?$/, "", s); return s }
+    BEGIN {
+        print "| defense | req/s | overhead | metadata bytes | tag bits | detection guarantee |"
+        print "| --- | ---: | ---: | ---: | ---: | --- |"
+    }
+    index($0, "\"defenses\": {") { in_section = 1; next }
+    !in_section { next }
+    /^    "[^"]+": \{/ {
+        name = $0; sub(/^ +"/, "", name); sub(/": \{.*/, "", name)
+        ops = ""; overhead = ""; meta = ""; bits = "—"; guarantee = ""
+        next
+    }
+    /"ops_per_sec"/ { ops = num($0) }
+    /"overhead_vs_baseline"/ { overhead = num($0) }
+    /"metadata_bytes"/ { meta = num($0) }
+    /"tag_bits"/ { bits = num($0) }
+    /"guarantee"/ { guarantee = str($0) }
+    /^    \}/ && name != "" {
+        printf "| %s | %.0f | %.2fx | %.0f | %s | %s |\n", \
+            name, ops, overhead, meta, bits, guarantee
+        name = ""
+    }
+    /^  \}/ { in_section = 0 }
+' "$src"

@@ -63,10 +63,19 @@ cargo test -q
 # the seed space than the offline suite alone. Override the count with
 # VERIFY_FUZZ_PROGRAMS (0 skips).
 fuzz_programs=${VERIFY_FUZZ_PROGRAMS:-150}
+fuzz_seed=424242
 if [[ "$fuzz_programs" != "0" ]]; then
     echo "== differential fuzz: fuzz_diff --programs $fuzz_programs =="
-    cargo run --release -q -p dangsan-bench --bin fuzz_diff -- \
-        --programs "$fuzz_programs" --seed 424242 --quiet
+    if ! cargo run --release -q -p dangsan-bench --bin fuzz_diff -- \
+        --programs "$fuzz_programs" --seed "$fuzz_seed" --quiet; then
+        # Name the exact campaign so a failure reproduces offline without
+        # reading this script: base seed, seed range, and the arm matrix.
+        echo "verify: FAIL — differential fuzz diverged" >&2
+        echo "verify: base seed $fuzz_seed, seeds $fuzz_seed..$((fuzz_seed + fuzz_programs - 1))" >&2
+        echo "verify: arms: $(cargo run --release -q -p dangsan-bench --bin fuzz_diff -- --list-arms)" >&2
+        echo "verify: reproduce: cargo run --release -p dangsan-bench --bin fuzz_diff -- --programs $fuzz_programs --seed $fuzz_seed" >&2
+        exit 1
+    fi
 fi
 
 echo "== baseline lint: scripts/check_baselines.sh =="
